@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestParseSchema(t *testing.T) {
+	s, err := parseSchema("R:2, S:1,T:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := s.Arity("R"); a != 2 {
+		t.Errorf("R arity = %d", a)
+	}
+	if a, _ := s.Arity("T"); a != 3 {
+		t.Errorf("T arity = %d", a)
+	}
+	for _, bad := range []string{"", "R", "R:x", ",,"} {
+		if _, err := parseSchema(bad); err == nil {
+			t.Errorf("parseSchema(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsRun smoke-tests every experiment: each must produce
+// output and must not panic.
+func TestExperimentsRun(t *testing.T) {
+	for _, e := range experiments() {
+		var buf bytes.Buffer
+		e.Run(&buf)
+		if buf.Len() == 0 {
+			t.Errorf("experiment %s produced no output", e.ID)
+		}
+	}
+}
+
+// TestExperimentIDsUnique guards the registry.
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" {
+			t.Errorf("experiment %s has no title", e.ID)
+		}
+	}
+	for _, id := range []string{"F1", "F2", "F3", "F4", "F5", "F6", "E3", "T8", "T17", "P26", "SJ1", "SJ2", "G5"} {
+		if !seen[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+}
+
+// TestExperimentOutputsCarryTheClaims spot-checks that the printed
+// tables contain the paper's headline facts.
+func TestExperimentOutputsCarryTheClaims(t *testing.T) {
+	get := func(id string) string {
+		for _, e := range experiments() {
+			if e.ID == id {
+				var buf bytes.Buffer
+				e.Run(&buf)
+				return buf.String()
+			}
+		}
+		t.Fatalf("experiment %s not found", id)
+		return ""
+	}
+	if out := get("F5"); !strings.Contains(out, "A,1 ~C B,1: true") {
+		t.Errorf("F5 lost the bisimilarity claim:\n%s", out)
+	}
+	if out := get("F4"); !strings.Contains(out, "1024") {
+		t.Errorf("F4 should reach |E(D32)| = 1024:\n%s", out)
+	}
+	if out := get("T17"); !strings.Contains(out, "quadratic") || !strings.Contains(out, "linear") {
+		t.Errorf("T17 missing verdicts:\n%s", out)
+	}
+	if out := get("E3"); !strings.Contains(out, "bart") {
+		t.Errorf("E3 lost the lousy-bar answer:\n%s", out)
+	}
+	if out := get("T8"); !strings.Contains(out, "12/12") {
+		t.Errorf("T8 differential check failing:\n%s", out)
+	}
+}
+
+func TestExperimentsSorted(t *testing.T) {
+	es := experimentsSorted()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].ID >= es[i].ID {
+			t.Errorf("experiments not sorted: %s before %s", es[i-1].ID, es[i].ID)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Command raquery evaluates relational-algebra, semijoin-algebra and
+// guarded-fragment queries over databases in the library's text format.
+//
+// Usage:
+//
+//	raquery -db data.txt -ra  'diff(project[1](R), ...)'
+//	raquery -db data.txt -sa  'semijoin[2=1](Visits, Serves)'
+//	raquery -db data.txt -gf  'exists y (Visits(x, y) & x = y)' -vars x
+//	raquery -db data.txt -ra '...' -trace        # print intermediate sizes
+//
+// The database format is line oriented: "@R 2" declares relation R of
+// arity 2 and "R 1,2" adds the tuple (1,2); see internal/rel.ReadText.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"radiv/internal/gf"
+	"radiv/internal/parser"
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+	"radiv/internal/sa"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "raquery:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses the flags and executes one query; separated from main for
+// testability.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("raquery", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "database file (text format)")
+	raSrc := fs.String("ra", "", "relational algebra expression")
+	saSrc := fs.String("sa", "", "semijoin algebra expression")
+	gfSrc := fs.String("gf", "", "guarded fragment formula")
+	vars := fs.String("vars", "", "comma-separated output variables for -gf")
+	consts := fs.String("consts", "", "comma-separated extra constants for -gf answers")
+	trace := fs.Bool("trace", false, "print intermediate result sizes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *dbPath == "" {
+		return fmt.Errorf("missing -db")
+	}
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		return err
+	}
+	d, err := rel.ReadText(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *raSrc != "":
+		e, err := parser.ParseRA(*raSrc, d.Schema())
+		if err != nil {
+			return err
+		}
+		res, tr := ra.EvalTraced(e, d)
+		if *trace {
+			fmt.Fprint(out, tr)
+		}
+		fmt.Fprint(out, res)
+	case *saSrc != "":
+		e, err := parser.ParseSA(*saSrc, d.Schema())
+		if err != nil {
+			return err
+		}
+		res, tr := sa.EvalTraced(e, d)
+		if *trace {
+			for _, s := range tr.Steps {
+				fmt.Fprintf(out, "%8d  %s\n", s.Size, s.Expr)
+			}
+			fmt.Fprintf(out, "max intermediate: %d\n", tr.MaxIntermediate)
+		}
+		fmt.Fprint(out, res)
+	case *gfSrc != "":
+		formula, err := parser.ParseGF(*gfSrc)
+		if err != nil {
+			return err
+		}
+		if err := gf.Validate(formula, d.Schema()); err != nil {
+			return err
+		}
+		var vlist []gf.Var
+		if *vars != "" {
+			for _, v := range strings.Split(*vars, ",") {
+				vlist = append(vlist, gf.Var(strings.TrimSpace(v)))
+			}
+		} else {
+			vlist = formula.FreeVars()
+		}
+		var cs []rel.Value
+		if *consts != "" {
+			for _, c := range strings.Split(*consts, ",") {
+				cs = append(cs, rel.ParseValue(strings.TrimSpace(c)))
+			}
+		}
+		c := gf.Constants(formula).Union(rel.Consts(cs...))
+		fmt.Fprint(out, gf.Answers(formula, d, c, vlist))
+	default:
+		return fmt.Errorf("provide one of -ra, -sa, -gf")
+	}
+	return nil
+}

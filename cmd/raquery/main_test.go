@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDB(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "db.txt")
+	data := "@R 2\nR 1,10\nR 1,20\nR 2,10\n@S 1\nS 10\nS 20\n@Visits 2\nVisits 1,2\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRA(t *testing.T) {
+	db := writeDB(t)
+	var out bytes.Buffer
+	err := run([]string{"-db", db, "-ra",
+		"diff(project[1](R), project[1](diff(join[true](project[1](R), S), R)))", "-trace"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(1)") || !strings.Contains(out.String(), "max intermediate") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunSA(t *testing.T) {
+	db := writeDB(t)
+	var out bytes.Buffer
+	if err := run([]string{"-db", db, "-sa", "semijoin[2=1](R, S)", "-trace"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(1, 10)") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunGF(t *testing.T) {
+	db := writeDB(t)
+	var out bytes.Buffer
+	if err := run([]string{"-db", db, "-gf", "exists y (R(x, y) & y = '10')", "-vars", "x"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(1)") || !strings.Contains(out.String(), "(2)") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	db := writeDB(t)
+	cases := [][]string{
+		{},                                  // missing db
+		{"-db", db},                         // no query
+		{"-db", "/nonexistent"},             // bad path
+		{"-db", db, "-ra", "join[9=9](R,S)"}, // bad expression
+		{"-db", db, "-gf", "R(x"},           // bad formula
+		{"-db", db, "-gf", "Nope(x)"},       // unknown relation
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,454 @@
+// Package bisim implements C-guarded bisimulation between databases
+// (Definitions 9–11 of the paper) and a decision procedure for
+// C-guarded bisimilarity of pointed databases (A, ā) ∼C (B, b̄).
+//
+// The decision procedure computes the greatest fixpoint of the
+// back-and-forth refinement over the finite set of C-partial
+// isomorphisms between guarded sets of A and guarded sets of B; this
+// is complete because a guarded bisimulation may always be restricted
+// to maps whose domains are guarded sets. Corollary 14 of the paper
+// turns bisimilarity into SA=-inexpressibility proofs: if A,ā ∼C B,b̄
+// but a query answers differently on ā and b̄, the query is not
+// expressible in SA= with constants in C — and hence (Theorem 18) only
+// expressible in RA by quadratic expressions.
+package bisim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"radiv/internal/rel"
+)
+
+// Iso is a finite partial function between the universes of two
+// databases, represented as parallel slices sorted by domain value.
+// Use NewIso or FromTuples to build one.
+type Iso struct {
+	X, Y []rel.Value
+}
+
+// NewIso builds a partial function from domain/image pairs. It returns
+// an error if the pairs are inconsistent (same x mapped to two
+// different y's) or non-injective (two x's mapped to the same y).
+func NewIso(pairs [][2]rel.Value) (*Iso, error) {
+	fwd := make(map[string]rel.Value)
+	bwd := make(map[string]rel.Value)
+	var xs []rel.Value
+	for _, p := range pairs {
+		xk, yk := p[0].String()+"\x00"+kindTag(p[0]), p[1].String()+"\x00"+kindTag(p[1])
+		if prev, ok := fwd[xk]; ok {
+			if !prev.Equal(p[1]) {
+				return nil, fmt.Errorf("bisim: %v mapped to both %v and %v", p[0], prev, p[1])
+			}
+			continue
+		}
+		if prev, ok := bwd[yk]; ok && !prev.Equal(p[0]) {
+			return nil, fmt.Errorf("bisim: %v is the image of both %v and %v", p[1], prev, p[0])
+		}
+		fwd[xk] = p[1]
+		bwd[yk] = p[0]
+		xs = append(xs, p[0])
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i].Less(xs[j]) })
+	iso := &Iso{X: xs, Y: make([]rel.Value, len(xs))}
+	for i, x := range xs {
+		iso.Y[i] = fwd[x.String()+"\x00"+kindTag(x)]
+	}
+	return iso, nil
+}
+
+func kindTag(v rel.Value) string {
+	if v.IsInt() {
+		return "i"
+	}
+	return "s"
+}
+
+// FromTuples builds the partial function {a_i → b_i} from two tuples
+// of equal length, as used for the pointed pairs (A, ā), (B, b̄).
+func FromTuples(a, b rel.Tuple) (*Iso, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("bisim: tuples of different length %d vs %d", len(a), len(b))
+	}
+	pairs := make([][2]rel.Value, len(a))
+	for i := range a {
+		pairs[i] = [2]rel.Value{a[i], b[i]}
+	}
+	return NewIso(pairs)
+}
+
+// Image returns f(x); ok is false when x is outside the domain.
+func (f *Iso) Image(x rel.Value) (rel.Value, bool) {
+	i := sort.Search(len(f.X), func(i int) bool { return !f.X[i].Less(x) })
+	if i < len(f.X) && f.X[i].Equal(x) {
+		return f.Y[i], true
+	}
+	return rel.Value{}, false
+}
+
+// Preimage returns f⁻¹(y); ok is false when y is outside the image.
+func (f *Iso) Preimage(y rel.Value) (rel.Value, bool) {
+	for i, v := range f.Y {
+		if v.Equal(y) {
+			return f.X[i], true
+		}
+	}
+	return rel.Value{}, false
+}
+
+// Key returns an injective encoding of the map, for dedup.
+func (f *Iso) Key() string {
+	var b strings.Builder
+	for i := range f.X {
+		b.WriteString(rel.Tuple{f.X[i], f.Y[i]}.Key())
+	}
+	return b.String()
+}
+
+// DomainKey returns an injective encoding of the domain set.
+func (f *Iso) DomainKey() string { return rel.Tuple(f.X).Key() }
+
+// String renders the map as "{x1→y1, x2→y2, ...}".
+func (f *Iso) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := range f.X {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%v→%v", f.X[i], f.Y[i])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// AgreesWith reports whether f and g agree on the intersection of
+// their domains (and, symmetrically, their inverses on the
+// intersection of their images). The forth condition of Definition 11
+// requires agreement on X ∩ X′; the back condition requires the
+// inverses to agree on Y ∩ Y′.
+func (f *Iso) AgreesWith(g *Iso) bool {
+	for i, x := range f.X {
+		if gy, ok := g.Image(x); ok && !gy.Equal(f.Y[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// inverseAgreesWith reports whether f⁻¹ and g⁻¹ agree on the
+// intersection of the images.
+func (f *Iso) inverseAgreesWith(g *Iso) bool {
+	for i, y := range f.Y {
+		if gx, ok := g.Preimage(y); ok && !gx.Equal(f.X[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Checker decides C-guarded bisimilarity between two databases over
+// the same schema.
+type Checker struct {
+	A, B *rel.Database
+	C    rel.ConstSet
+
+	guardedA [][]rel.Value // guarded sets of A, sorted values
+	guardedB [][]rel.Value
+	tuplesA  map[string][]rel.Tuple // relation -> tuples (for iso check)
+	tuplesB  map[string][]rel.Tuple
+}
+
+// NewChecker builds a checker for the pair of databases with constants
+// C. The databases must share the schema.
+func NewChecker(a, b *rel.Database, c rel.ConstSet) *Checker {
+	ch := &Checker{A: a, B: b, C: c}
+	ch.guardedA = a.GuardedSets()
+	ch.guardedB = b.GuardedSets()
+	ch.tuplesA = collect(a)
+	ch.tuplesB = collect(b)
+	return ch
+}
+
+func collect(d *rel.Database) map[string][]rel.Tuple {
+	m := make(map[string][]rel.Tuple)
+	for _, name := range d.Schema().Names() {
+		m[name] = d.Rel(name).Tuples()
+	}
+	return m
+}
+
+// IsPartialIso reports whether f is a C-partial isomorphism from A to
+// B (Definition 10): bijective (by construction of Iso), relation
+// preserving in both directions on tuples over the domain/image, order
+// preserving, and constant preserving.
+func (ch *Checker) IsPartialIso(f *Iso) bool {
+	// Order preservation: domain is sorted ascending, so the image must
+	// be strictly ascending.
+	for i := 1; i < len(f.Y); i++ {
+		if !f.Y[i-1].Less(f.Y[i]) {
+			return false
+		}
+	}
+	// Constant preservation: x = c ⟺ f(x) = c for all c ∈ C. Since C
+	// is a set of values, this means: x ∈ C ⟹ f(x) = x, and
+	// f(x) ∈ C ⟹ x = f(x).
+	for i, x := range f.X {
+		y := f.Y[i]
+		if ch.C.Contains(x) || ch.C.Contains(y) {
+			if !x.Equal(y) {
+				return false
+			}
+		}
+	}
+	// Relation preservation, forward: every A-tuple over dom(f) maps
+	// into B; backward: every B-tuple over im(f) pulls back into A.
+	domain := func(vs []rel.Value, t rel.Tuple) bool {
+		for _, v := range t {
+			if !containsValue(vs, v) {
+				return false
+			}
+		}
+		return true
+	}
+	for name, ts := range ch.tuplesA {
+		rb := ch.B.Rel(name)
+		for _, t := range ts {
+			if !domain(f.X, t) {
+				continue
+			}
+			img := make(rel.Tuple, len(t))
+			for i, v := range t {
+				img[i], _ = f.Image(v)
+			}
+			if !rb.Contains(img) {
+				return false
+			}
+		}
+	}
+	for name, ts := range ch.tuplesB {
+		ra := ch.A.Rel(name)
+		for _, t := range ts {
+			if !domain(f.Y, t) {
+				continue
+			}
+			pre := make(rel.Tuple, len(t))
+			ok := true
+			for i, v := range t {
+				if x, has := f.Preimage(v); has {
+					pre[i] = x
+				} else {
+					ok = false
+					break
+				}
+			}
+			if ok && !ra.Contains(pre) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func containsValue(vs []rel.Value, v rel.Value) bool {
+	i := sort.Search(len(vs), func(i int) bool { return !vs[i].Less(v) })
+	return i < len(vs) && vs[i].Equal(v)
+}
+
+// candidates enumerates all C-partial isomorphisms between guarded
+// sets of A and guarded sets of B (same cardinality, all bijections),
+// deduplicated.
+func (ch *Checker) candidates() []*Iso {
+	seen := make(map[string]bool)
+	var out []*Iso
+	for _, X := range ch.guardedA {
+		for _, Y := range ch.guardedB {
+			if len(X) != len(Y) {
+				continue
+			}
+			permute(Y, func(perm []rel.Value) {
+				pairs := make([][2]rel.Value, len(X))
+				for i := range X {
+					pairs[i] = [2]rel.Value{X[i], perm[i]}
+				}
+				f, err := NewIso(pairs)
+				if err != nil {
+					return
+				}
+				if len(f.X) != len(X) { // collision collapsed the map
+					return
+				}
+				if seen[f.Key()] {
+					return
+				}
+				if ch.IsPartialIso(f) {
+					seen[f.Key()] = true
+					out = append(out, f)
+				}
+			})
+		}
+	}
+	return out
+}
+
+// permute calls visit with every permutation of vs (vs is reused;
+// visit must not retain it).
+func permute(vs []rel.Value, visit func([]rel.Value)) {
+	n := len(vs)
+	perm := make([]rel.Value, n)
+	used := make([]bool, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			visit(perm)
+			return
+		}
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			perm[i] = vs[j]
+			rec(i + 1)
+			used[j] = false
+		}
+	}
+	rec(0)
+	_ = n
+}
+
+// MaximalBisimulation computes the greatest C-guarded bisimulation
+// between A and B restricted to maps between guarded sets: the
+// greatest fixpoint of the back-and-forth refinement starting from all
+// C-partial isomorphisms between guarded sets. The result is empty iff
+// no guarded bisimulation between A and B exists.
+func (ch *Checker) MaximalBisimulation() []*Iso {
+	alive := ch.candidates()
+	for {
+		byDomainA := make(map[string][]*Iso)
+		byDomainB := make(map[string][]*Iso)
+		for _, f := range alive {
+			byDomainA[f.DomainKey()] = append(byDomainA[f.DomainKey()], f)
+			byDomainB[rel.Tuple(sortedCopy(f.Y)).Key()] = append(byDomainB[rel.Tuple(sortedCopy(f.Y)).Key()], f)
+		}
+		var next []*Iso
+		for _, f := range alive {
+			if ch.forthHolds(f, byDomainA) && ch.backHolds(f, byDomainB) {
+				next = append(next, f)
+			}
+		}
+		if len(next) == len(alive) {
+			return alive
+		}
+		alive = next
+		if len(alive) == 0 {
+			return nil
+		}
+	}
+}
+
+func sortedCopy(vs []rel.Value) []rel.Value {
+	out := append([]rel.Value(nil), vs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// forthHolds checks the forth condition of Definition 11 for f against
+// the current set: for every guarded set X′ of A there must be a g in
+// the set with domain X′ such that f and g agree on X ∩ X′.
+func (ch *Checker) forthHolds(f *Iso, byDomainA map[string][]*Iso) bool {
+	for _, X := range ch.guardedA {
+		found := false
+		for _, g := range byDomainA[rel.Tuple(X).Key()] {
+			if f.AgreesWith(g) && g.AgreesWith(f) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// backHolds checks the back condition: for every guarded set Y′ of B
+// there must be a g in the set with image Y′ such that f⁻¹ and g⁻¹
+// agree on Y ∩ Y′.
+func (ch *Checker) backHolds(f *Iso, byDomainB map[string][]*Iso) bool {
+	for _, Y := range ch.guardedB {
+		found := false
+		for _, g := range byDomainB[rel.Tuple(Y).Key()] {
+			if f.inverseAgreesWith(g) && g.inverseAgreesWith(f) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Bisimilar decides A, ā ∼C B, b̄ (Definition 11): whether some
+// C-guarded bisimulation between A and B contains the partial map
+// ā → b̄. The tuples must have the same length; they are typically
+// C-stored tuples, as in Corollary 14.
+func (ch *Checker) Bisimilar(a, b rel.Tuple) bool {
+	f, err := FromTuples(a, b)
+	if err != nil {
+		return false
+	}
+	if !ch.IsPartialIso(f) {
+		return false
+	}
+	max := ch.MaximalBisimulation()
+	if len(max) == 0 {
+		// A bisimulation must be nonempty; with no surviving guarded
+		// maps the only hope is that both databases have no guarded
+		// sets at all (empty databases), in which case {ā → b̄} itself
+		// is a bisimulation.
+		return len(ch.guardedA) == 0 && len(ch.guardedB) == 0
+	}
+	byDomainA := make(map[string][]*Iso)
+	byDomainB := make(map[string][]*Iso)
+	for _, g := range max {
+		byDomainA[g.DomainKey()] = append(byDomainA[g.DomainKey()], g)
+		byDomainB[rel.Tuple(sortedCopy(g.Y)).Key()] = append(byDomainB[rel.Tuple(sortedCopy(g.Y)).Key()], g)
+	}
+	return ch.forthHolds(f, byDomainA) && ch.backHolds(f, byDomainB)
+}
+
+// VerifyBisimulation checks that a user-supplied set of maps is a
+// C-guarded bisimulation between A and B: the set must be nonempty,
+// every member must be a C-partial isomorphism, and the back and forth
+// conditions must hold within the set. It returns nil on success and a
+// descriptive error naming the first violated condition otherwise.
+//
+// This is used to machine-check the explicit bisimulations given in
+// the paper (Example 12, Proposition 26, Section 4.1).
+func (ch *Checker) VerifyBisimulation(isos []*Iso) error {
+	if len(isos) == 0 {
+		return fmt.Errorf("bisim: a guarded bisimulation must be nonempty")
+	}
+	byDomainA := make(map[string][]*Iso)
+	byDomainB := make(map[string][]*Iso)
+	for _, f := range isos {
+		byDomainA[f.DomainKey()] = append(byDomainA[f.DomainKey()], f)
+		byDomainB[rel.Tuple(sortedCopy(f.Y)).Key()] = append(byDomainB[rel.Tuple(sortedCopy(f.Y)).Key()], f)
+	}
+	for _, f := range isos {
+		if !ch.IsPartialIso(f) {
+			return fmt.Errorf("bisim: %s is not a C-partial isomorphism", f)
+		}
+		if !ch.forthHolds(f, byDomainA) {
+			return fmt.Errorf("bisim: forth condition fails for %s", f)
+		}
+		if !ch.backHolds(f, byDomainB) {
+			return fmt.Errorf("bisim: back condition fails for %s", f)
+		}
+	}
+	return nil
+}

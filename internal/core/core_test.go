@@ -1,0 +1,356 @@
+package core
+
+import (
+	"testing"
+
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+)
+
+// example21Join is the expression E = R ⋈3=1 S of Example 21 (R and S
+// ternary).
+func example21Join() *ra.Join {
+	return ra.NewJoin(ra.R("R", 3), ra.Eq(3, 1), ra.R("S", 3))
+}
+
+// TestExample21Constrained reproduces Example 21: constrained1 = {3},
+// unc1 = {1,2}, constrained2 = {1}, unc2 = {2,3}.
+func TestExample21Constrained(t *testing.T) {
+	j := example21Join()
+	if got := Constrained(j, Left); len(got) != 1 || got[0] != 3 {
+		t.Errorf("constrained1 = %v, want [3]", got)
+	}
+	if got := Unconstrained(j, Left); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("unc1 = %v, want [1,2]", got)
+	}
+	if got := Constrained(j, Right); len(got) != 1 || got[0] != 1 {
+		t.Errorf("constrained2 = %v, want [1]", got)
+	}
+	if got := Unconstrained(j, Right); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("unc2 = %v, want [2,3]", got)
+	}
+}
+
+// TestExample23FreeValues reproduces Example 23: over U = Z with
+// E = σ2='2'(R) ⋈3=1 σ3='5'(S), C = {2,5}:
+// F1(1,2,3) = {1}, F1(4,6,3) = {6}, F2(3,5,6) = {6}, F2(1,1,1) = ∅.
+func TestExample23FreeValues(t *testing.T) {
+	left := ra.NewSelectConst(2, rel.Int(2), ra.R("R", 3))
+	right := ra.NewSelectConst(3, rel.Int(5), ra.R("S", 3))
+	j := ra.NewJoin(left, ra.Eq(3, 1), right)
+	c := ra.Constants(j)
+	if c.Len() != 2 || !c.Contains(rel.Int(2)) || !c.Contains(rel.Int(5)) {
+		t.Fatalf("C = %v, want {2,5}", c.Values())
+	}
+
+	f := FreeValues(j, Left, c, rel.Ints(1, 2, 3))
+	if len(f) != 1 || !f[0].Equal(rel.Int(1)) {
+		t.Errorf("F1(1,2,3) = %v, want {1}", rel.Tuple(f))
+	}
+	// (4,6,3): 3 is constrained (position 3); 4 and 6 are not
+	// constants, but 4 lies in the finite interval [2,5] — only 6 is
+	// free.
+	f = FreeValues(j, Left, c, rel.Ints(4, 6, 3))
+	if len(f) != 1 || !f[0].Equal(rel.Int(6)) {
+		t.Errorf("F1(4,6,3) = %v, want {6}", rel.Tuple(f))
+	}
+	f = FreeValues(j, Right, c, rel.Ints(3, 5, 6))
+	if len(f) != 1 || !f[0].Equal(rel.Int(6)) {
+		t.Errorf("F2(3,5,6) = %v, want {6}", rel.Tuple(f))
+	}
+	f = FreeValues(j, Right, c, rel.Ints(1, 1, 1))
+	if len(f) != 0 {
+		t.Errorf("F2(1,1,1) = %v, want ∅", rel.Tuple(f))
+	}
+}
+
+func TestInFiniteConstantInterval(t *testing.T) {
+	c := rel.IntConsts(2, 5, 100)
+	cases := []struct {
+		v    rel.Value
+		want bool
+	}{
+		{rel.Int(3), true},
+		{rel.Int(2), true},
+		{rel.Int(5), true},
+		{rel.Int(6), true}, // inside [5,100]
+		{rel.Int(1), false},
+		{rel.Int(101), false},
+		{rel.Str("x"), false},
+	}
+	for _, tc := range cases {
+		if got := InFiniteConstantInterval(tc.v, c); got != tc.want {
+			t.Errorf("InFiniteConstantInterval(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+	// String endpoints never bound a finite interval.
+	cs := rel.Consts(rel.Str("a"), rel.Str("b"))
+	if InFiniteConstantInterval(rel.Str("aa"), cs) {
+		t.Error("string interval treated as finite")
+	}
+}
+
+func TestConstantClosure(t *testing.T) {
+	c := rel.IntConsts(2, 5)
+	vals, err := ConstantClosure(c, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rel.Ints(2, 3, 4, 5)
+	if !rel.Tuple(vals).Equal(want) {
+		t.Errorf("closure = %v, want %v", rel.Tuple(vals), want)
+	}
+	// Over-limit interval.
+	if _, err := ConstantClosure(rel.IntConsts(0, 10_000), 256); err == nil {
+		t.Error("huge interval should error")
+	}
+	// Mixed kinds: string constants contribute only themselves.
+	vals, err = ConstantClosure(rel.Consts(rel.Int(1), rel.Str("z")), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 {
+		t.Errorf("closure = %v", rel.Tuple(vals))
+	}
+}
+
+// fig4Expression returns E = (R ⋉1=2 T) ⋈3=1 (S ⋉2=1 T) from the
+// Lemma 24 illustration, with the semijoins expressed linearly in RA.
+func fig4Expression() *ra.Join {
+	e1 := ra.EquiSemijoinExpr(ra.R("R", 3), ra.Eq(1, 2), ra.R("T", 2))
+	e2 := ra.EquiSemijoinExpr(ra.R("S", 3), ra.Eq(2, 1), ra.R("T", 2))
+	return ra.NewJoin(e1, ra.Eq(3, 1), e2)
+}
+
+// fig4Database is the database D of Fig. 4.
+func fig4Database() *rel.Database {
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 3, "S": 3, "T": 2}))
+	d.AddInts("R", 1, 2, 3)
+	d.AddInts("R", 8, 9, 10)
+	d.AddInts("S", 3, 4, 5)
+	d.AddInts("T", 6, 1)
+	d.AddInts("T", 4, 7)
+	return d
+}
+
+// TestFigure4Witness finds the paper's witness on the Fig. 4 database:
+// ā = (1,2,3) with free values {1,2} and b̄ = (3,4,5) with free values
+// {4,5}.
+func TestFigure4Witness(t *testing.T) {
+	j := fig4Expression()
+	d := fig4Database()
+	w := FindWitnessAt(j, d)
+	if w == nil {
+		t.Fatal("no witness found on Fig. 4 database")
+	}
+	if !w.A.Equal(rel.Ints(1, 2, 3)) {
+		t.Errorf("ā = %v, want (1,2,3)", w.A)
+	}
+	if !w.B.Equal(rel.Ints(3, 4, 5)) {
+		t.Errorf("b̄ = %v, want (3,4,5)", w.B)
+	}
+	if !rel.Tuple(w.FreeA).Equal(rel.Ints(1, 2)) {
+		t.Errorf("F1(ā) = %v, want {1,2}", rel.Tuple(w.FreeA))
+	}
+	if !rel.Tuple(w.FreeB).Equal(rel.Ints(4, 5)) {
+		t.Errorf("F2(b̄) = %v, want {4,5}", rel.Tuple(w.FreeB))
+	}
+}
+
+// TestFigure4PumpStructure reproduces D2 and D3 of Fig. 4 exactly
+// (modulo the canonical order-isomorphic relabelling): each generation
+// adds one R-clone (1',2',3), one S-clone (3,4',5'), and T-clones
+// (6,1') and (4',7).
+func TestFigure4PumpStructure(t *testing.T) {
+	w := FindWitnessAt(fig4Expression(), fig4Database())
+	if w == nil {
+		t.Fatal("no witness")
+	}
+	p, err := NewPump(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Canon // shorthand
+	f := p.Fresh
+	i := func(n int64) rel.Value { return rel.Int(n) }
+
+	d2 := p.Database(2)
+	// |D2| = |D| + 4 = 9: R gains 1 tuple, S gains 1, T gains 2.
+	if d2.Size() != 9 {
+		t.Fatalf("|D2| = %d, want 9\n%s", d2.Size(), d2)
+	}
+	wantR := rel.FromTuples(3,
+		rel.T(c(i(1)), c(i(2)), c(i(3))),
+		rel.T(c(i(8)), c(i(9)), c(i(10))),
+		rel.T(f(c(i(1)), 1), f(c(i(2)), 1), c(i(3))),
+	)
+	if !d2.Rel("R").Equal(wantR) {
+		t.Errorf("D2(R) =\n%swant\n%s", d2.Rel("R"), wantR)
+	}
+	wantS := rel.FromTuples(3,
+		rel.T(c(i(3)), c(i(4)), c(i(5))),
+		rel.T(c(i(3)), f(c(i(4)), 1), f(c(i(5)), 1)),
+	)
+	if !d2.Rel("S").Equal(wantS) {
+		t.Errorf("D2(S) =\n%swant\n%s", d2.Rel("S"), wantS)
+	}
+	wantT := rel.FromTuples(2,
+		rel.T(c(i(6)), c(i(1))),
+		rel.T(c(i(4)), c(i(7))),
+		rel.T(c(i(6)), f(c(i(1)), 1)),
+		rel.T(f(c(i(4)), 1), c(i(7))),
+	)
+	if !d2.Rel("T").Equal(wantT) {
+		t.Errorf("D2(T) =\n%swant\n%s", d2.Rel("T"), wantT)
+	}
+
+	d3 := p.Database(3)
+	if d3.Size() != 13 {
+		t.Fatalf("|D3| = %d, want 13", d3.Size())
+	}
+	// Generation 2 adds the double-primed clones.
+	if !d3.Rel("R").Contains(rel.T(f(c(i(1)), 2), f(c(i(2)), 2), c(i(3)))) {
+		t.Error("D3(R) missing (1'',2'',3)")
+	}
+	if !d3.Rel("S").Contains(rel.T(c(i(3)), f(c(i(4)), 2), f(c(i(5)), 2))) {
+		t.Error("D3(S) missing (3,4'',5'')")
+	}
+}
+
+// TestFigure4PumpQuadratic verifies the two promises of Lemma 24 on
+// the Fig. 4 construction: |Dn| ≤ c·n with c = 2|D| and
+// |E(Dn)| ≥ n².
+func TestFigure4PumpQuadratic(t *testing.T) {
+	w := FindWitnessAt(fig4Expression(), fig4Database())
+	p, err := NewPump(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := 2 * w.D.Size()
+	for _, pt := range p.Measure([]int{1, 2, 4, 8, 16}) {
+		if pt.DatabaseSize > c*pt.N {
+			t.Errorf("n=%d: |Dn| = %d exceeds c·n = %d", pt.N, pt.DatabaseSize, c*pt.N)
+		}
+		if pt.JoinOutput < pt.N*pt.N {
+			t.Errorf("n=%d: |E(Dn)| = %d < n² = %d", pt.N, pt.JoinOutput, pt.N*pt.N)
+		}
+	}
+}
+
+// TestPumpOrderPreservation checks the fresh elements keep the
+// relative order of their originals: the pumped tuples still satisfy
+// an order-sensitive join condition.
+func TestPumpOrderPreservation(t *testing.T) {
+	// E = R ⋈ 2<2 S with a shared key on column 1... use:
+	// R(k, x) ⋈ 1=1 ∧ 2<2 S(k, y): joining pairs need x < y.
+	j := ra.NewJoin(ra.R("R", 2), ra.Eq(1, 1).And(ra.A(2, ra.OpLt, 2)), ra.R("S", 2))
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 2, "S": 2}))
+	d.AddInts("R", 5, 10)
+	d.AddInts("S", 5, 20)
+	w := FindWitnessAt(j, d)
+	if w == nil {
+		t.Fatal("no witness (10 and 20 are free)")
+	}
+	p, err := NewPump(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range p.Measure([]int{2, 4, 8}) {
+		if pt.JoinOutput < pt.N*pt.N {
+			t.Errorf("n=%d: order-join output %d < n² = %d", pt.N, pt.JoinOutput, pt.N*pt.N)
+		}
+	}
+}
+
+// TestPumpWithConstants exercises the integer-spreading
+// canonicalization: constants stay fixed and the pump still works.
+func TestPumpWithConstants(t *testing.T) {
+	// E = σ1='100'(R) ⋈ 2=2 S : join key is column 2; column 1 of R is
+	// the constant, column 1 of S is free, as is nothing else... take
+	// S(a, b) with a free.
+	left := ra.NewSelectConst(1, rel.Int(100), ra.R("R", 2))
+	j := ra.NewJoin(left, ra.Eq(2, 2), ra.R("S", 2))
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 2, "S": 2}))
+	d.AddInts("R", 100, 7)
+	d.AddInts("S", 200, 7)
+	w := FindWitnessAt(j, d)
+	if w == nil {
+		t.Skip("no witness: R tuple has no free values (100 constant, 7 constrained)")
+	}
+	t.Fatalf("unexpected witness %s: F1 should be empty", w)
+}
+
+func TestPumpWithConstantsBothFree(t *testing.T) {
+	// Join on column 2 with free first columns on both sides, plus a
+	// constant selection to force the integer-spreading path.
+	left := ra.NewSelectConst(2, rel.Int(50), ra.R("R", 3))
+	j := ra.NewJoin(left, ra.Eq(3, 2), ra.R("S", 2))
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 3, "S": 2}))
+	d.AddInts("R", 7, 50, 9)
+	d.AddInts("S", 120, 9)
+	w := FindWitnessAt(j, d)
+	if w == nil {
+		t.Fatal("expected witness: 7 free on the left, 120 free on the right")
+	}
+	p, err := NewPump(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range p.Measure([]int{2, 4, 8}) {
+		if pt.JoinOutput < pt.N*pt.N {
+			t.Errorf("n=%d: output %d < n²", pt.N, pt.JoinOutput)
+		}
+	}
+	// Constants unmoved.
+	if !p.Canon(rel.Int(50)).Equal(rel.Int(50)) {
+		t.Error("constant 50 was relabelled")
+	}
+}
+
+func TestPumpMixedKindsWithConstantsRejected(t *testing.T) {
+	left := ra.NewSelectConst(2, rel.Int(50), ra.R("R", 3))
+	j := ra.NewJoin(left, ra.Eq(3, 2), ra.R("S", 2))
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 3, "S": 2}))
+	d.Add("R", rel.T(rel.Str("x"), rel.Int(50), rel.Int(9)))
+	d.AddInts("S", 120, 9)
+	w := FindWitnessAt(j, d)
+	if w == nil {
+		t.Fatal("expected witness")
+	}
+	if _, err := NewPump(w); err == nil {
+		t.Error("mixed-kind database with constants should be rejected")
+	}
+}
+
+// TestNoWitnessOnLinearJoins checks the witness search stays silent on
+// joins that are linear by construction (semijoin shapes).
+func TestNoWitnessOnLinearJoins(t *testing.T) {
+	e := ra.EquiSemijoinExpr(ra.R("R", 2), ra.Eq(2, 1), ra.R("S", 1))
+	seeds := DefaultSeeds(e, 30)
+	if w := FindWitness(e, seeds); w != nil {
+		t.Errorf("linear expression produced witness %s", w)
+	}
+}
+
+// TestWitnessOnProduct: the cartesian product is the canonical
+// quadratic expression.
+func TestWitnessOnProduct(t *testing.T) {
+	e := ra.Product(ra.R("R", 1), ra.R("S", 1))
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 1, "S": 1}))
+	d.AddInts("R", 1)
+	d.AddInts("S", 2)
+	w := FindWitness(e, []*rel.Database{d})
+	if w == nil {
+		t.Fatal("product should have a witness")
+	}
+	p, err := NewPump(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := p.Measure([]int{4, 8})
+	for _, pt := range pts {
+		if pt.JoinOutput < pt.N*pt.N {
+			t.Errorf("n=%d: product output %d < n²", pt.N, pt.JoinOutput)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package core makes the paper's main results executable: the
+// constrained/unconstrained column analysis of join conditions
+// (Definition 20), free values of joining tuples (Definition 22), the
+// Lemma 24 witness search and pumping construction that force
+// quadratic intermediate results, the Z1 ∪ Z2 linearization of
+// non-quadratic joins into SA= (proof of Theorems 17 and 18), and an
+// expression classifier built from these pieces.
+package core
+
+import (
+	"fmt"
+
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+)
+
+// Sides selects an operand of a join.
+type Side int
+
+const (
+	// Left is the E1 side of E1 ⋈θ E2.
+	Left Side = 1
+	// Right is the E2 side.
+	Right Side = 2
+)
+
+// Constrained returns constrained_ℓ(E) for a join E = E1 ⋈θ E2
+// (Definition 20): the columns of the chosen operand that appear in an
+// equality atom of θ. The result is a sorted list of 1-based columns.
+func Constrained(j *ra.Join, side Side) []int {
+	seen := map[int]bool{}
+	for _, p := range j.Cond.EqPairs() {
+		if side == Left {
+			seen[p[0]] = true
+		} else {
+			seen[p[1]] = true
+		}
+	}
+	var out []int
+	arity := j.L.Arity()
+	if side == Right {
+		arity = j.E.Arity()
+	}
+	for i := 1; i <= arity; i++ {
+		if seen[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Unconstrained returns unc_ℓ(E) (Definition 20): the complement of
+// Constrained within the operand's columns.
+func Unconstrained(j *ra.Join, side Side) []int {
+	cons := map[int]bool{}
+	for _, c := range Constrained(j, side) {
+		cons[c] = true
+	}
+	arity := j.L.Arity()
+	if side == Right {
+		arity = j.E.Arity()
+	}
+	var out []int
+	for i := 1; i <= arity; i++ {
+		if !cons[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// InFiniteConstantInterval reports whether x lies in a finite interval
+// [c_i, c_{i+1}] between two consecutive constants of C. In the
+// library's universe (integers below strings), an interval is finite
+// exactly when both endpoints are integers; string intervals are
+// treated as infinite, which is correct for the canonical databases
+// the pump operates on (their labels always leave insertion room).
+func InFiniteConstantInterval(x rel.Value, c rel.ConstSet) bool {
+	if !x.IsInt() {
+		return false
+	}
+	vals := c.Values()
+	for i := 0; i+1 < len(vals); i++ {
+		lo, hi := vals[i], vals[i+1]
+		if !lo.IsInt() || !hi.IsInt() {
+			continue
+		}
+		if !x.Less(lo) && !hi.Less(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// FreeValues returns F^E_ℓ(d̄) for a tuple d̄ of the chosen operand of
+// the join (Definition 22): the values of d̄ that do not occur at a
+// constrained position, are not constants, and do not lie in a finite
+// interval between consecutive constants. The constant set c should be
+// the constants of the join expression (the paper's C).
+func FreeValues(j *ra.Join, side Side, c rel.ConstSet, d rel.Tuple) []rel.Value {
+	arity := j.L.Arity()
+	if side == Right {
+		arity = j.E.Arity()
+	}
+	if len(d) != arity {
+		panic(fmt.Sprintf("core: tuple arity %d for side with arity %d", len(d), arity))
+	}
+	pinned := map[string]bool{}
+	for _, i := range Constrained(j, side) {
+		pinned[rel.Tuple{d[i-1]}.Key()] = true
+	}
+	var out []rel.Value
+	for _, v := range d.Set() {
+		if pinned[rel.Tuple{v}.Key()] {
+			continue
+		}
+		if c.Contains(v) {
+			continue
+		}
+		if InFiniteConstantInterval(v, c) {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// ConstantClosure returns the set V = C ∪ ⋃ finite [c_i, c_{i+1}] used
+// by the Z1 ∪ Z2 construction: all constants together with every value
+// inside a finite interval between consecutive constants. limit bounds
+// the enumeration; an error is returned when a finite interval holds
+// more than limit values (the construction is then impractical, though
+// still well defined mathematically).
+func ConstantClosure(c rel.ConstSet, limit int) ([]rel.Value, error) {
+	var all rel.Tuple
+	all = append(all, c.Values()...)
+	vals := c.Values()
+	for i := 0; i+1 < len(vals); i++ {
+		lo, hi := vals[i], vals[i+1]
+		if !lo.IsInt() || !hi.IsInt() {
+			continue
+		}
+		span := hi.AsInt() - lo.AsInt()
+		if span > int64(limit) {
+			return nil, fmt.Errorf("core: finite interval [%v,%v] has %d values, limit %d", lo, hi, span+1, limit)
+		}
+		for v := lo.AsInt() + 1; v < hi.AsInt(); v++ {
+			all = append(all, rel.Int(v))
+		}
+	}
+	return all.Set(), nil
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+	"radiv/internal/sa"
+)
+
+// Linearize translates an RA expression into an SA= expression using
+// the constructive proof of Theorems 17 and 18. The translation is a
+// structural induction; every case except the join is a homomorphism,
+// and a join E1 ⋈θ E2 becomes the union Z1 ∪ Z2 from the proof:
+// Z2 enumerates the ways the right tuple b̄ can be reconstructed from
+// the left tuple and the constants (mappings f from the unconstrained
+// right columns into the constrained ones and the tagged constants),
+// and symmetrically for Z1.
+//
+// The result is equivalent to e whenever e is not quadratic
+// (Theorem 18). For quadratic e the construction still produces a
+// well-formed SA= expression, but it computes only the "reconstructible"
+// part of each join — Classify detects this case via the Lemma 24
+// witness search. Non-equality join atoms are supported (they become
+// selections); note that the σ<-selections appear only on already
+// semijoin-shaped operands, so linearity is preserved.
+//
+// An error is returned when the constant closure (constants plus
+// finite inter-constant intervals) exceeds closureLimit values.
+func Linearize(e ra.Expr) (sa.Expr, error) {
+	return linearize(e)
+}
+
+// closureLimit bounds the enumeration of finite constant intervals in
+// the Z1 ∪ Z2 construction.
+const closureLimit = 256
+
+func linearize(e ra.Expr) (sa.Expr, error) {
+	switch n := e.(type) {
+	case *ra.Rel:
+		return sa.R(n.Name, n.Arity()), nil
+	case *ra.Union:
+		l, err := linearize(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := linearize(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return sa.NewUnion(l, r), nil
+	case *ra.Diff:
+		l, err := linearize(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := linearize(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return sa.NewDiff(l, r), nil
+	case *ra.Project:
+		in, err := linearize(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return sa.NewProject(n.Cols, in), nil
+	case *ra.Select:
+		in, err := linearize(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return sa.NewSelect(n.I, n.Op, n.J, in), nil
+	case *ra.SelectConst:
+		in, err := linearize(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return sa.NewSelectConst(n.I, n.C, in), nil
+	case *ra.ConstTag:
+		in, err := linearize(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return sa.NewConstTag(n.C, in), nil
+	case *ra.Join:
+		return linearizeJoin(n)
+	}
+	return nil, fmt.Errorf("core: unknown expression %T", e)
+}
+
+// linearizeJoin builds Z1 ∪ Z2 for E = E1 ⋈θ E2.
+func linearizeJoin(j *ra.Join) (sa.Expr, error) {
+	e1, err := linearize(j.L)
+	if err != nil {
+		return nil, err
+	}
+	e2, err := linearize(j.E)
+	if err != nil {
+		return nil, err
+	}
+	closure, err := ConstantClosure(ra.Constants(j), closureLimit)
+	if err != nil {
+		return nil, err
+	}
+	z2 := buildZ(j, e1, e2, closure, Right)
+	z1 := buildZ(j, e1, e2, closure, Left)
+	switch {
+	case z1 == nil && z2 == nil:
+		// No mapping exists on either side: every joining pair would
+		// need free values on both sides, so a non-quadratic E is
+		// empty. Produce the empty relation of the right arity.
+		return emptyOfArity(e1, e2, j.Arity()), nil
+	case z1 == nil:
+		return z2, nil
+	case z2 == nil:
+		return z1, nil
+	}
+	return sa.NewUnion(z1, z2), nil
+}
+
+// buildZ builds Z2 (reconstruct = Right: right tuples reconstructed
+// from the left side) or Z1 (reconstruct = Left) as a union over all
+// reconstruction mappings f. It returns nil when no mapping exists
+// (the union is empty).
+func buildZ(j *ra.Join, e1, e2 sa.Expr, closure []rel.Value, reconstruct Side) sa.Expr {
+	var keepArity, reconArity int
+	var keep, recon sa.Expr
+	if reconstruct == Right {
+		keep, recon = e1, e2
+		keepArity, reconArity = j.L.Arity(), j.E.Arity()
+	} else {
+		keep, recon = e2, e1
+		keepArity, reconArity = j.E.Arity(), j.L.Arity()
+	}
+	m := len(closure)
+	constrainedRecon := Constrained(j, reconstruct)
+	uncRecon := Unconstrained(j, reconstruct)
+
+	// Enumerate mappings f : unc → constrained ∪ {tagged 1..m}.
+	targets := make([]int, 0, len(constrainedRecon)+m)
+	targets = append(targets, constrainedRecon...)
+	for l := 1; l <= m; l++ {
+		targets = append(targets, reconArity+l)
+	}
+	if len(uncRecon) > 0 && len(targets) == 0 {
+		return nil
+	}
+	var union sa.Expr
+	forEachMapping(uncRecon, targets, func(f map[int]int) {
+		z := buildZForMapping(j, keep, recon, closure, reconstruct, keepArity, reconArity, f)
+		if union == nil {
+			union = z
+		} else {
+			union = sa.NewUnion(union, z)
+		}
+	})
+	return union
+}
+
+// buildZForMapping builds one disjunct of Z for a fixed reconstruction
+// mapping f, following the proof text:
+//
+//	π_p̄( σ_ψ τ_v1..vm ( keep ⋉_{θ=} σ_φ τ_v1..vm recon ) )
+func buildZForMapping(j *ra.Join, keep, recon sa.Expr, closure []rel.Value,
+	reconstruct Side, keepArity, reconArity int, f map[int]int) sa.Expr {
+
+	// τ_v1..vm on the reconstructed side, so φ can compare against the
+	// tagged constants (column reconArity+l holds closure[l-1]).
+	taggedRecon := tagAll(recon, closure)
+
+	// φ: each unconstrained column equals its reconstruction source.
+	var phi sa.Expr = taggedRecon
+	for _, jcol := range Unconstrained(j, reconstruct) {
+		phi = sa.NewSelect(jcol, ra.OpEq, f[jcol], phi)
+	}
+
+	// Semijoin keep ⋉_{θ=} φ(recon): equality atoms only, oriented so
+	// the kept side is on the left.
+	var eqCond ra.Cond
+	for _, p := range j.Cond.EqPairs() {
+		if reconstruct == Right {
+			eqCond = append(eqCond, ra.A(p[0], ra.OpEq, p[1]))
+		} else {
+			eqCond = append(eqCond, ra.A(p[1], ra.OpEq, p[0]))
+		}
+	}
+	var joined sa.Expr
+	if len(eqCond) == 0 {
+		// No equality atoms: the kept side only needs a φ-valid recon
+		// tuple to exist. Definition 2 requires at least one conjunct
+		// in a semijoin condition, so tag both sides with the same
+		// constant and semijoin on the tags.
+		keepTagged := sa.NewConstTag(rel.Int(0), keep)
+		phiTagged := sa.NewConstTag(rel.Int(0), phi)
+		sj := sa.NewSemijoin(keepTagged, ra.Eq(keepArity+1, phi.Arity()+1), phiTagged)
+		cols := make([]int, keepArity)
+		for i := range cols {
+			cols[i] = i + 1
+		}
+		joined = sa.NewProject(cols, sj)
+	} else {
+		joined = sa.NewSemijoin(keep, eqCond, phi)
+	}
+
+	// τ_v1..vm on the kept side result, so ψ and p̄ can reference the
+	// constants (column keepArity+l holds closure[l-1]).
+	tagged := tagAll(joined, closure)
+
+	// g reconstructs each recon column as a column of tagged:
+	// constrained columns come from the θ= partner on the kept side;
+	// unconstrained columns follow f into either a constrained column
+	// or a tagged constant.
+	g := func(col int) int {
+		resolve := func(c int) int {
+			if c > reconArity { // tagged constant l
+				return keepArity + (c - reconArity)
+			}
+			// constrained recon column: the minimal kept column equal
+			// to it under θ=.
+			min := 0
+			for _, p := range j.Cond.EqPairs() {
+				var keepCol, reconCol int
+				if reconstruct == Right {
+					keepCol, reconCol = p[0], p[1]
+				} else {
+					keepCol, reconCol = p[1], p[0]
+				}
+				if reconCol == c && (min == 0 || keepCol < min) {
+					min = keepCol
+				}
+			}
+			return min
+		}
+		if t, ok := f[col]; ok {
+			return resolve(t)
+		}
+		return resolve(col)
+	}
+
+	// ψ: re-verify every θ atom between the kept tuple and the
+	// reconstruction.
+	var psi sa.Expr = tagged
+	for _, at := range j.Cond {
+		if reconstruct == Right {
+			// kept = E1 side: atom is keep.i α recon.j ⇒ σ_{i α g(j)}.
+			psi = sa.NewSelect(at.L, at.Op, g(at.R), psi)
+		} else {
+			// kept = E2 side: atom is recon.i α keep.j ⇒ σ_{g(i) α j}.
+			psi = sa.NewSelect(g(at.L), at.Op, at.R, psi)
+		}
+	}
+
+	// p̄: output in (E1, E2) column order.
+	cols := make([]int, 0, j.Arity())
+	if reconstruct == Right {
+		for i := 1; i <= keepArity; i++ {
+			cols = append(cols, i)
+		}
+		for jcol := 1; jcol <= reconArity; jcol++ {
+			cols = append(cols, g(jcol))
+		}
+	} else {
+		for icol := 1; icol <= reconArity; icol++ {
+			cols = append(cols, g(icol))
+		}
+		for i := 1; i <= keepArity; i++ {
+			cols = append(cols, i)
+		}
+	}
+	return sa.NewProject(cols, psi)
+}
+
+// tagAll applies τ_v1 ... τ_vm so that column arity+l holds vs[l-1].
+func tagAll(e sa.Expr, vs []rel.Value) sa.Expr {
+	out := e
+	for _, v := range vs {
+		out = sa.NewConstTag(v, out)
+	}
+	return out
+}
+
+// forEachMapping enumerates all functions from domain into targets.
+// With an empty domain the single empty mapping is visited.
+func forEachMapping(domain, targets []int, visit func(map[int]int)) {
+	f := make(map[int]int, len(domain))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(domain) {
+			visit(f)
+			return
+		}
+		for _, t := range targets {
+			f[domain[i]] = t
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// emptyOfArity builds an SA= expression that evaluates to the empty
+// relation of the given arity, using the available subexpressions to
+// reach the arity (projection with repetition, or constant tags from
+// arity zero).
+func emptyOfArity(e1, e2 sa.Expr, arity int) sa.Expr {
+	base := e1
+	if base.Arity() == 0 && e2.Arity() > 0 {
+		base = e2
+	}
+	var shaped sa.Expr
+	if base.Arity() > 0 {
+		cols := make([]int, arity)
+		for i := range cols {
+			cols[i] = 1
+		}
+		shaped = sa.NewProject(cols, base)
+	} else {
+		shaped = base
+		for i := 0; i < arity; i++ {
+			shaped = sa.NewConstTag(rel.Int(0), shaped)
+		}
+	}
+	return sa.NewDiff(shaped, shaped)
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+)
+
+// Pump implements the database sequence (Dn) of Lemma 24's proof:
+// starting from a witness database D with joining tuples ā, b̄ whose
+// free-value sets are nonempty, every generation k adds, for each
+// tuple of D's tuple space touching a free value, a clone in which the
+// free values are replaced by fresh domain elements new^(k)(x) that
+// keep the same relative order. The sequence satisfies |Dn| ≤ c·n
+// while |E1 ⋈θ E2 (Dn)| ≥ n².
+//
+// The paper's proof creates fresh elements "with the same relative
+// order as x", translating parts of the database into an isomorphic
+// copy when the order has no room. The pump realizes this by first
+// building a canonical order-isomorphic copy of the witness database
+// (fixing the constants C pointwise):
+//
+//   - when C = ∅, all values are relabelled to padded string labels,
+//     where fresh order-preserving neighbours always exist;
+//   - when C ≠ ∅ and all values are integers, values outside the
+//     constant range are spread out with large gaps, and values inside
+//     the range — which are never free — stay put.
+//
+// Mixed-kind databases with constants are rejected.
+type Pump struct {
+	w *Witness
+	// canon maps original values to canonical values.
+	canon map[string]rel.Value
+	// fresh produces new^(k)(x) for a canonical free value x.
+	fresh func(x rel.Value, k int) rel.Value
+
+	base  *rel.Database // canonical D (= D1)
+	freeA map[string]bool
+	freeB map[string]bool
+	a, b  rel.Tuple // canonical witness tuples
+}
+
+// NewPump builds the pumping construction from a witness. It returns
+// an error when the witness database cannot be canonicalized (mixed
+// value kinds with a nonempty constant set).
+func NewPump(w *Witness) (*Pump, error) {
+	p := &Pump{w: w}
+	if err := p.canonicalize(); err != nil {
+		return nil, err
+	}
+	p.base = mapDatabase(w.D, p.mapValue)
+	p.freeA = keySet(mapValues(w.FreeA, p.mapValue))
+	p.freeB = keySet(mapValues(w.FreeB, p.mapValue))
+	p.a = mapTuple(w.A, p.mapValue)
+	p.b = mapTuple(w.B, p.mapValue)
+	return p, nil
+}
+
+// spreadGap is the spacing used by the integer canonicalization; it
+// bounds the number of generations the pump supports in that mode.
+const spreadGap = int64(1) << 20
+
+func (p *Pump) canonicalize() error {
+	dom := p.w.D.ActiveDomain()
+	consts := p.w.C.Values()
+	p.canon = make(map[string]rel.Value, len(dom))
+
+	if len(consts) == 0 {
+		// String relabelling: i-th domain value becomes "v<i>" with
+		// fixed width, preserving order; fresh values extend the label.
+		width := 1
+		for n := len(dom); n >= 10; n /= 10 {
+			width++
+		}
+		for i, v := range dom {
+			p.canon[rel.Tuple{v}.Key()] = rel.Str(fmt.Sprintf("v%0*d", width, i+1))
+		}
+		p.fresh = func(x rel.Value, k int) rel.Value {
+			return rel.Str(fmt.Sprintf("%s~%06d", x.AsString(), k))
+		}
+		return nil
+	}
+
+	// Integer spreading. All values and constants must be integers.
+	for _, v := range append(append([]rel.Value{}, dom...), consts...) {
+		if !v.IsInt() {
+			return fmt.Errorf("core: pump with constants requires an all-integer database, found %v", v)
+		}
+	}
+	minC, maxC := consts[0], consts[len(consts)-1]
+	// Values below min(C): spread downward; above max(C): upward;
+	// between constants: keep (they are never free).
+	var below, above []rel.Value
+	for _, v := range dom {
+		switch {
+		case v.Less(minC):
+			below = append(below, v)
+		case maxC.Less(v):
+			above = append(above, v)
+		}
+	}
+	for i, v := range below { // below is sorted ascending
+		pos := minC.AsInt() - int64(len(below)-i)*spreadGap
+		p.canon[rel.Tuple{v}.Key()] = rel.Int(pos)
+	}
+	for i, v := range above {
+		pos := maxC.AsInt() + int64(i+1)*spreadGap
+		p.canon[rel.Tuple{v}.Key()] = rel.Int(pos)
+	}
+	p.fresh = func(x rel.Value, k int) rel.Value {
+		if int64(k) >= spreadGap {
+			panic(fmt.Sprintf("core: pump generation %d exceeds integer spread capacity", k))
+		}
+		return rel.Int(x.AsInt() + int64(k))
+	}
+	return nil
+}
+
+func (p *Pump) mapValue(v rel.Value) rel.Value {
+	if c, ok := p.canon[rel.Tuple{v}.Key()]; ok {
+		return c
+	}
+	return v
+}
+
+// Base returns the canonical copy of the witness database (D1 in the
+// proof). The returned database is a fresh copy each call.
+func (p *Pump) Base() *rel.Database { return p.base.Clone() }
+
+// WitnessTuples returns the canonical images of ā and b̄.
+func (p *Pump) WitnessTuples() (a, b rel.Tuple) { return p.a.Clone(), p.b.Clone() }
+
+// Canon returns the canonical image of an original value.
+func (p *Pump) Canon(v rel.Value) rel.Value { return p.mapValue(v) }
+
+// Fresh returns new^(k)(x) for a canonical value x and generation
+// k ≥ 1, as used in the construction.
+func (p *Pump) Fresh(x rel.Value, k int) rel.Value { return p.fresh(x, k) }
+
+// Database returns Dn for n ≥ 1: the canonical base plus generations
+// 1..n−1 of clones, following the proof of Lemma 24 step by step.
+func (p *Pump) Database(n int) *rel.Database {
+	d := p.base.Clone()
+	space := p.base.TupleSpace()
+	for k := 1; k < n; k++ {
+		for _, st := range space {
+			if touches(st.Tuple, p.freeA) {
+				d.Add(st.Rel, p.clone(st.Tuple, p.freeA, k))
+			}
+			if touches(st.Tuple, p.freeB) {
+				d.Add(st.Rel, p.clone(st.Tuple, p.freeB, k))
+			}
+		}
+	}
+	return d
+}
+
+// clone is f^(k)_ℓ(t̄): replace values in the free set by their k-th
+// fresh copies, keep everything else.
+func (p *Pump) clone(t rel.Tuple, free map[string]bool, k int) rel.Tuple {
+	out := make(rel.Tuple, len(t))
+	for i, v := range t {
+		if free[rel.Tuple{v}.Key()] {
+			out[i] = p.fresh(v, k)
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// PumpedA returns f^(k)_1(ā) for k ≥ 0 (k = 0 is ā itself).
+func (p *Pump) PumpedA(k int) rel.Tuple {
+	if k == 0 {
+		return p.a.Clone()
+	}
+	return p.clone(p.a, p.freeA, k)
+}
+
+// PumpedB returns f^(k)_2(b̄) for k ≥ 0.
+func (p *Pump) PumpedB(k int) rel.Tuple {
+	if k == 0 {
+		return p.b.Clone()
+	}
+	return p.clone(p.b, p.freeB, k)
+}
+
+// GrowthPoint records the sizes realized at one pumping stage.
+type GrowthPoint struct {
+	N            int // pumping parameter
+	DatabaseSize int // |Dn|
+	JoinOutput   int // |E1 ⋈θ E2 (Dn)|
+}
+
+// Measure evaluates the witness join on Dn for each n and reports the
+// realized sizes. Lemma 24 promises DatabaseSize ≤ c·n and
+// JoinOutput ≥ n².
+func (p *Pump) Measure(ns []int) []GrowthPoint {
+	out := make([]GrowthPoint, 0, len(ns))
+	for _, n := range ns {
+		d := p.Database(n)
+		res := ra.Eval(p.w.Join, d)
+		out = append(out, GrowthPoint{N: n, DatabaseSize: d.Size(), JoinOutput: res.Len()})
+	}
+	return out
+}
+
+func touches(t rel.Tuple, free map[string]bool) bool {
+	for _, v := range t {
+		if free[rel.Tuple{v}.Key()] {
+			return true
+		}
+	}
+	return false
+}
+
+func keySet(vs []rel.Value) map[string]bool {
+	m := make(map[string]bool, len(vs))
+	for _, v := range vs {
+		m[rel.Tuple{v}.Key()] = true
+	}
+	return m
+}
+
+func mapValues(vs []rel.Value, f func(rel.Value) rel.Value) []rel.Value {
+	out := make([]rel.Value, len(vs))
+	for i, v := range vs {
+		out[i] = f(v)
+	}
+	return out
+}
+
+func mapTuple(t rel.Tuple, f func(rel.Value) rel.Value) rel.Tuple {
+	out := make(rel.Tuple, len(t))
+	for i, v := range t {
+		out[i] = f(v)
+	}
+	return out
+}
+
+func mapDatabase(d *rel.Database, f func(rel.Value) rel.Value) *rel.Database {
+	out := rel.NewDatabase(d.Schema())
+	for _, st := range d.TupleSpace() {
+		out.Add(st.Rel, mapTuple(st.Tuple, f))
+	}
+	return out
+}

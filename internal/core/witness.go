@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+)
+
+// Witness is evidence that a join subexpression satisfies the
+// hypothesis of Lemma 24: on database D, the pair (A, B) joins under
+// θ and has nonempty free-value sets on both sides. By Lemma 24 this
+// implies the join's output size is Ω(n²) — the expression is
+// quadratic — and the Pump built from the witness realizes the lower
+// bound constructively.
+type Witness struct {
+	// Join is the quadratic join node E1 ⋈θ E2.
+	Join *ra.Join
+	// D is the seed database.
+	D *rel.Database
+	// A is the witness tuple ā ∈ E1(D); B is b̄ ∈ E2(D).
+	A, B rel.Tuple
+	// FreeA and FreeB are the (nonempty) free-value sets F^E_1(ā) and
+	// F^E_2(b̄).
+	FreeA, FreeB []rel.Value
+	// C is the constant set of the join expression.
+	C rel.ConstSet
+}
+
+// String summarizes the witness.
+func (w *Witness) String() string {
+	return fmt.Sprintf("join %s: ā=%v (free %v), b̄=%v (free %v)",
+		w.Join, w.A, rel.Tuple(w.FreeA), w.B, rel.Tuple(w.FreeB))
+}
+
+// FindWitnessAt searches one join node for a Lemma 24 witness on the
+// given database: a θ-joining pair (ā, b̄) of the operands' outputs
+// whose free-value sets are both nonempty. It returns nil when no pair
+// on this database qualifies.
+func FindWitnessAt(j *ra.Join, d *rel.Database) *Witness {
+	c := ra.Constants(j)
+	r1 := ra.Eval(j.L, d)
+	r2 := ra.Eval(j.E, d)
+	for _, a := range r1.Tuples() {
+		fa := FreeValues(j, Left, c, a)
+		if len(fa) == 0 {
+			continue
+		}
+		for _, b := range r2.Tuples() {
+			if !j.Cond.Holds(a, b) {
+				continue
+			}
+			fb := FreeValues(j, Right, c, b)
+			if len(fb) == 0 {
+				continue
+			}
+			return &Witness{Join: j, D: d, A: a, B: b, FreeA: fa, FreeB: fb, C: c}
+		}
+	}
+	return nil
+}
+
+// FindWitness searches every join subexpression of e against every
+// seed database and returns the first witness found, or nil. A
+// non-nil result soundly certifies that e is quadratic (Lemma 24); a
+// nil result means no quadratic behaviour was observed on these seeds
+// (it is not a proof of linearity — deciding linearity exactly is
+// undecidable).
+func FindWitness(e ra.Expr, seeds []*rel.Database) *Witness {
+	var joins []*ra.Join
+	ra.Walk(e, func(x ra.Expr) {
+		if j, ok := x.(*ra.Join); ok {
+			joins = append(joins, j)
+		}
+	})
+	for _, d := range seeds {
+		for _, j := range joins {
+			if w := FindWitnessAt(j, d); w != nil {
+				return w
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,403 @@
+// Package gf implements the guarded fragment of first-order logic
+// (Definition 6 of the paper): atomic formulas x=y, x<y, x=c, relation
+// atoms R(x1..xk), the boolean connectives, and guarded quantification
+// ∃ȳ(α(x̄,ȳ) ∧ φ(x̄,ȳ)) where α is a relation atom covering every free
+// variable of φ.
+//
+// The guarded fragment corresponds exactly to the semijoin algebra
+// SA= (Theorem 8); the translations live in internal/translate. GF is
+// invariant under guarded bisimulation (Proposition 13), which is how
+// the paper proves that division and set joins are not expressible in
+// SA=.
+package gf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"radiv/internal/rel"
+)
+
+// Var is a first-order variable, identified by name.
+type Var string
+
+// Formula is a guarded-fragment formula. The free variables are
+// available via FreeVars; Validate checks the guardedness condition of
+// Definition 6(4).
+type Formula interface {
+	// FreeVars returns the free variables, sorted by name.
+	FreeVars() []Var
+	// String renders the formula in the library's text syntax.
+	String() string
+}
+
+// Eq is the atomic formula x = y.
+type Eq struct{ X, Y Var }
+
+// FreeVars implements Formula.
+func (f Eq) FreeVars() []Var { return sortVars(f.X, f.Y) }
+
+// String implements Formula.
+func (f Eq) String() string { return fmt.Sprintf("%s = %s", f.X, f.Y) }
+
+// Lt is the atomic formula x < y in the order of the universe.
+type Lt struct{ X, Y Var }
+
+// FreeVars implements Formula.
+func (f Lt) FreeVars() []Var { return sortVars(f.X, f.Y) }
+
+// String implements Formula.
+func (f Lt) String() string { return fmt.Sprintf("%s < %s", f.X, f.Y) }
+
+// EqConst is the atomic formula x = c for a constant c ∈ U.
+type EqConst struct {
+	X Var
+	C rel.Value
+}
+
+// FreeVars implements Formula.
+func (f EqConst) FreeVars() []Var { return []Var{f.X} }
+
+// String implements Formula.
+func (f EqConst) String() string { return fmt.Sprintf("%s = '%v'", f.X, f.C) }
+
+// Atom is a relation atom R(x1, ..., xk). Variables may repeat.
+type Atom struct {
+	Rel  string
+	Args []Var
+}
+
+// NewAtom builds the relation atom R(args...).
+func NewAtom(rel string, args ...Var) Atom {
+	return Atom{Rel: rel, Args: append([]Var(nil), args...)}
+}
+
+// FreeVars implements Formula.
+func (f Atom) FreeVars() []Var { return sortVars(f.Args...) }
+
+// String implements Formula.
+func (f Atom) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = string(a)
+	}
+	return fmt.Sprintf("%s(%s)", f.Rel, strings.Join(parts, ", "))
+}
+
+// Not is ¬φ.
+type Not struct{ F Formula }
+
+// FreeVars implements Formula.
+func (f Not) FreeVars() []Var { return f.F.FreeVars() }
+
+// String implements Formula.
+func (f Not) String() string { return fmt.Sprintf("!(%s)", f.F) }
+
+// And is φ ∧ ψ.
+type And struct{ L, R Formula }
+
+// FreeVars implements Formula.
+func (f And) FreeVars() []Var { return unionVars(f.L.FreeVars(), f.R.FreeVars()) }
+
+// String implements Formula.
+func (f And) String() string { return fmt.Sprintf("(%s & %s)", f.L, f.R) }
+
+// Or is φ ∨ ψ.
+type Or struct{ L, R Formula }
+
+// FreeVars implements Formula.
+func (f Or) FreeVars() []Var { return unionVars(f.L.FreeVars(), f.R.FreeVars()) }
+
+// String implements Formula.
+func (f Or) String() string { return fmt.Sprintf("(%s | %s)", f.L, f.R) }
+
+// Implies is φ → ψ.
+type Implies struct{ L, R Formula }
+
+// FreeVars implements Formula.
+func (f Implies) FreeVars() []Var { return unionVars(f.L.FreeVars(), f.R.FreeVars()) }
+
+// String implements Formula.
+func (f Implies) String() string { return fmt.Sprintf("(%s -> %s)", f.L, f.R) }
+
+// Iff is φ ↔ ψ.
+type Iff struct{ L, R Formula }
+
+// FreeVars implements Formula.
+func (f Iff) FreeVars() []Var { return unionVars(f.L.FreeVars(), f.R.FreeVars()) }
+
+// String implements Formula.
+func (f Iff) String() string { return fmt.Sprintf("(%s <-> %s)", f.L, f.R) }
+
+// Exists is the guarded quantification ∃ȳ(α(x̄,ȳ) ∧ φ(x̄,ȳ)) of
+// Definition 6(4): Vars are the quantified ȳ, Guard is the relation
+// atom α, and Body is φ. Every free variable of Body must occur in
+// Guard; Validate enforces this.
+type Exists struct {
+	Vars  []Var
+	Guard Atom
+	Body  Formula
+}
+
+// NewExists builds the guarded quantification.
+func NewExists(vars []Var, guard Atom, body Formula) Exists {
+	return Exists{Vars: append([]Var(nil), vars...), Guard: guard, Body: body}
+}
+
+// FreeVars implements Formula: free variables of guard and body minus
+// the quantified variables.
+func (f Exists) FreeVars() []Var {
+	all := unionVars(f.Guard.FreeVars(), f.Body.FreeVars())
+	out := all[:0]
+	for _, v := range all {
+		if !containsVar(f.Vars, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String implements Formula.
+func (f Exists) String() string {
+	names := make([]string, len(f.Vars))
+	for i, v := range f.Vars {
+		names[i] = string(v)
+	}
+	return fmt.Sprintf("exists %s (%s & %s)", strings.Join(names, ","), f.Guard, f.Body)
+}
+
+// Validate checks that the formula is well formed over the schema:
+// relation atoms have the declared arity, and every Exists satisfies
+// the guardedness condition (all free variables of the body occur in
+// the guard atom).
+func Validate(f Formula, schema rel.Schema) error {
+	switch n := f.(type) {
+	case Eq, Lt, EqConst:
+		return nil
+	case Atom:
+		a, ok := schema.Arity(n.Rel)
+		if !ok {
+			return fmt.Errorf("gf: relation %q not in schema", n.Rel)
+		}
+		if a != len(n.Args) {
+			return fmt.Errorf("gf: atom %s has %d arguments, relation has arity %d", n, len(n.Args), a)
+		}
+		return nil
+	case Not:
+		return Validate(n.F, schema)
+	case And:
+		return validate2(n.L, n.R, schema)
+	case Or:
+		return validate2(n.L, n.R, schema)
+	case Implies:
+		return validate2(n.L, n.R, schema)
+	case Iff:
+		return validate2(n.L, n.R, schema)
+	case Exists:
+		if err := Validate(n.Guard, schema); err != nil {
+			return err
+		}
+		guardVars := n.Guard.FreeVars()
+		for _, v := range n.Body.FreeVars() {
+			if !containsVar(guardVars, v) {
+				return fmt.Errorf("gf: variable %s free in body of %s but not guarded by %s", v, n, n.Guard)
+			}
+		}
+		return Validate(n.Body, schema)
+	}
+	return fmt.Errorf("gf: unknown formula %T", f)
+}
+
+func validate2(l, r Formula, schema rel.Schema) error {
+	if err := Validate(l, schema); err != nil {
+		return err
+	}
+	return Validate(r, schema)
+}
+
+// Constants returns the constants used by the formula, sorted.
+func Constants(f Formula) rel.ConstSet {
+	var vs []rel.Value
+	var walk func(Formula)
+	walk = func(g Formula) {
+		switch n := g.(type) {
+		case EqConst:
+			vs = append(vs, n.C)
+		case Not:
+			walk(n.F)
+		case And:
+			walk(n.L)
+			walk(n.R)
+		case Or:
+			walk(n.L)
+			walk(n.R)
+		case Implies:
+			walk(n.L)
+			walk(n.R)
+		case Iff:
+			walk(n.L)
+			walk(n.R)
+		case Exists:
+			walk(n.Body)
+		}
+	}
+	walk(f)
+	return rel.Consts(vs...)
+}
+
+// Assignment maps variables to values.
+type Assignment map[Var]rel.Value
+
+// Clone copies the assignment.
+func (a Assignment) Clone() Assignment {
+	b := make(Assignment, len(a))
+	for k, v := range a {
+		b[k] = v
+	}
+	return b
+}
+
+// Eval model-checks the formula on database d under the assignment,
+// which must bind every free variable. Quantified variables range over
+// the tuples of the guard relation, which is both the GF semantics and
+// an efficient evaluation strategy (no iteration over the full active
+// domain).
+func Eval(f Formula, d *rel.Database, asg Assignment) bool {
+	switch n := f.(type) {
+	case Eq:
+		return mustBind(asg, n.X).Equal(mustBind(asg, n.Y))
+	case Lt:
+		return mustBind(asg, n.X).Less(mustBind(asg, n.Y))
+	case EqConst:
+		return mustBind(asg, n.X).Equal(n.C)
+	case Atom:
+		t := make(rel.Tuple, len(n.Args))
+		for i, v := range n.Args {
+			t[i] = mustBind(asg, v)
+		}
+		return d.Rel(n.Rel).Contains(t)
+	case Not:
+		return !Eval(n.F, d, asg)
+	case And:
+		return Eval(n.L, d, asg) && Eval(n.R, d, asg)
+	case Or:
+		return Eval(n.L, d, asg) || Eval(n.R, d, asg)
+	case Implies:
+		return !Eval(n.L, d, asg) || Eval(n.R, d, asg)
+	case Iff:
+		return Eval(n.L, d, asg) == Eval(n.R, d, asg)
+	case Exists:
+		return evalExists(n, d, asg)
+	}
+	panic(fmt.Sprintf("gf: unknown formula %T", f))
+}
+
+func evalExists(f Exists, d *rel.Database, asg Assignment) bool {
+	quantified := make(map[Var]bool, len(f.Vars))
+	for _, v := range f.Vars {
+		quantified[v] = true
+	}
+	for _, t := range d.Rel(f.Guard.Rel).Tuples() {
+		// Match the guard atom against the tuple, extending asg on the
+		// quantified variables and checking consistency everywhere.
+		ext := asg.Clone()
+		ok := true
+		for i, v := range f.Guard.Args {
+			if bound, has := ext[v]; has && !quantified[v] {
+				if !bound.Equal(t[i]) {
+					ok = false
+					break
+				}
+			} else if bound, has := ext[v]; has {
+				// quantified variable already matched earlier in this
+				// tuple; must agree on repetition
+				if !bound.Equal(t[i]) {
+					ok = false
+					break
+				}
+			} else {
+				ext[v] = t[i]
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Quantified variables not occurring in the guard would be
+		// unbound; Definition 6(4) requires free vars of the body to
+		// occur in the guard, so after matching, all body variables are
+		// bound.
+		if Eval(f.Body, d, ext) {
+			return true
+		}
+	}
+	return false
+}
+
+func mustBind(asg Assignment, v Var) rel.Value {
+	val, ok := asg[v]
+	if !ok {
+		panic(fmt.Sprintf("gf: unbound variable %s", v))
+	}
+	return val
+}
+
+// Answers evaluates the formula as a query: it returns the set of
+// C-stored tuples d̄ (over the formula's free variables in the given
+// order) such that D ⊨ φ(d̄). This is the query semantics used in
+// Theorem 8. The vars list must cover all free variables of f.
+func Answers(f Formula, d *rel.Database, c rel.ConstSet, vars []Var) *rel.Relation {
+	free := f.FreeVars()
+	for _, v := range free {
+		if !containsVar(vars, v) {
+			panic(fmt.Sprintf("gf: Answers vars %v missing free variable %s", vars, v))
+		}
+	}
+	out := rel.NewRelation(len(vars))
+	for _, t := range rel.CStoredTuples(d, c, len(vars)) {
+		asg := make(Assignment, len(vars))
+		for i, v := range vars {
+			asg[v] = t[i]
+		}
+		if Eval(f, d, asg) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// LousyBarFormula returns the GF formula of Example 7, equivalent to
+// the SA= expression of Example 3:
+//
+//	∃y (Visits(x, y) ∧ ¬∃z (Serves(y, z) ∧ ∃w Likes(w, z)))
+func LousyBarFormula() Formula {
+	someoneLikes := NewExists([]Var{"w"}, NewAtom("Likes", "w", "z"), Eq{X: "w", Y: "w"})
+	return NewExists([]Var{"y"}, NewAtom("Visits", "x", "y"),
+		Not{F: NewExists([]Var{"z"}, NewAtom("Serves", "y", "z"), someoneLikes)},
+	)
+}
+
+func sortVars(vs ...Var) []Var {
+	out := append([]Var(nil), vs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	uniq := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	return uniq
+}
+
+func unionVars(a, b []Var) []Var {
+	return sortVars(append(append([]Var(nil), a...), b...)...)
+}
+
+func containsVar(vs []Var, v Var) bool {
+	for _, w := range vs {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}

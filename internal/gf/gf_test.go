@@ -1,0 +1,259 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+
+	"radiv/internal/rel"
+)
+
+func beerSchema() rel.Schema {
+	return rel.NewSchema(map[string]int{"Likes": 2, "Serves": 2, "Visits": 2})
+}
+
+func beerDB() *rel.Database {
+	d := rel.NewDatabase(beerSchema())
+	d.AddStrs("Likes", "alex", "westmalle")
+	d.AddStrs("Serves", "pareto", "westmalle")
+	d.AddStrs("Serves", "qwerty", "stella")
+	d.AddStrs("Visits", "alex", "pareto")
+	d.AddStrs("Visits", "bart", "qwerty")
+	return d
+}
+
+func TestAtomicFormulas(t *testing.T) {
+	d := beerDB()
+	asg := Assignment{"x": rel.Str("a"), "y": rel.Str("b")}
+	if !Eval(Lt{X: "x", Y: "y"}, d, asg) || Eval(Lt{X: "y", Y: "x"}, d, asg) {
+		t.Error("Lt broken")
+	}
+	if Eval(Eq{X: "x", Y: "y"}, d, asg) || !Eval(Eq{X: "x", Y: "x"}, d, asg) {
+		t.Error("Eq broken")
+	}
+	if !Eval(EqConst{X: "x", C: rel.Str("a")}, d, asg) {
+		t.Error("EqConst broken")
+	}
+	atom := NewAtom("Visits", "x", "y")
+	asg2 := Assignment{"x": rel.Str("alex"), "y": rel.Str("pareto")}
+	if !Eval(atom, d, asg2) {
+		t.Error("Atom should hold")
+	}
+	asg2["y"] = rel.Str("qwerty")
+	if Eval(atom, d, asg2) {
+		t.Error("Atom should fail")
+	}
+}
+
+func TestBooleanConnectives(t *testing.T) {
+	d := beerDB()
+	tt := EqConst{X: "x", C: rel.Str("a")}
+	ff := EqConst{X: "x", C: rel.Str("b")}
+	asg := Assignment{"x": rel.Str("a")}
+	cases := []struct {
+		f    Formula
+		want bool
+	}{
+		{Not{F: tt}, false},
+		{Not{F: ff}, true},
+		{And{L: tt, R: tt}, true},
+		{And{L: tt, R: ff}, false},
+		{Or{L: ff, R: tt}, true},
+		{Or{L: ff, R: ff}, false},
+		{Implies{L: tt, R: ff}, false},
+		{Implies{L: ff, R: tt}, true},
+		{Implies{L: ff, R: ff}, true},
+		{Iff{L: tt, R: tt}, true},
+		{Iff{L: tt, R: ff}, false},
+		{Iff{L: ff, R: ff}, true},
+	}
+	for _, c := range cases {
+		if got := Eval(c.f, d, asg); got != c.want {
+			t.Errorf("%s = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+// TestExample7LousyBar evaluates the GF formula of Example 7 and
+// checks it answers {bart} on the beer database.
+func TestExample7LousyBar(t *testing.T) {
+	d := beerDB()
+	f := LousyBarFormula()
+	if err := Validate(f, beerSchema()); err != nil {
+		t.Fatalf("Example 7 formula invalid: %v", err)
+	}
+	if got := f.FreeVars(); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("FreeVars = %v", got)
+	}
+	ans := Answers(f, d, rel.Consts(), []Var{"x"})
+	// bart qualifies; bart is C-stored (occurs in Visits).
+	if !ans.Contains(rel.Strs("bart")) {
+		t.Errorf("Answers = %v, want to include bart", ans)
+	}
+	if ans.Contains(rel.Strs("alex")) {
+		t.Errorf("alex should not qualify: %v", ans)
+	}
+}
+
+func TestExistsGuardMatching(t *testing.T) {
+	d := beerDB()
+	// ∃y (Visits(x,y) ∧ y = 'pareto') — only alex.
+	f := NewExists([]Var{"y"}, NewAtom("Visits", "x", "y"), EqConst{X: "y", C: rel.Str("pareto")})
+	if !Eval(f, d, Assignment{"x": rel.Str("alex")}) {
+		t.Error("alex visits pareto")
+	}
+	if Eval(f, d, Assignment{"x": rel.Str("bart")}) {
+		t.Error("bart does not visit pareto")
+	}
+}
+
+func TestExistsRepeatedGuardVariable(t *testing.T) {
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"E": 2}))
+	d.AddInts("E", 1, 1)
+	d.AddInts("E", 2, 3)
+	// ∃y E(y,y): holds (1,1); matching must enforce repetition.
+	f := NewExists([]Var{"y"}, NewAtom("E", "y", "y"), Eq{X: "y", Y: "y"})
+	if !Eval(f, d, Assignment{}) {
+		t.Error("∃y E(y,y) should hold")
+	}
+	d2 := rel.NewDatabase(rel.NewSchema(map[string]int{"E": 2}))
+	d2.AddInts("E", 2, 3)
+	if Eval(f, d2, Assignment{}) {
+		t.Error("∃y E(y,y) should fail without a diagonal tuple")
+	}
+}
+
+func TestValidateGuardedness(t *testing.T) {
+	schema := beerSchema()
+	// Unguarded: body mentions z which does not occur in the guard.
+	bad := NewExists([]Var{"y"}, NewAtom("Visits", "x", "y"), Eq{X: "z", Y: "z"})
+	if err := Validate(bad, schema); err == nil {
+		t.Error("unguarded formula accepted")
+	}
+	// Wrong arity.
+	if err := Validate(NewAtom("Visits", "x"), schema); err == nil {
+		t.Error("wrong-arity atom accepted")
+	}
+	// Unknown relation.
+	if err := Validate(NewAtom("Nope", "x"), schema); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	// Valid formulas of all shapes.
+	good := []Formula{
+		Eq{X: "x", Y: "y"},
+		Lt{X: "x", Y: "y"},
+		EqConst{X: "x", C: rel.Int(4)},
+		Or{L: NewAtom("Likes", "x", "y"), R: Not{F: NewAtom("Serves", "x", "y")}},
+		Implies{L: NewAtom("Likes", "x", "y"), R: Iff{L: Eq{X: "x", Y: "y"}, R: Lt{X: "x", Y: "y"}}},
+		LousyBarFormula(),
+	}
+	for _, f := range good {
+		if err := Validate(f, schema); err != nil {
+			t.Errorf("Validate(%s) = %v", f, err)
+		}
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	f := LousyBarFormula()
+	fv := f.FreeVars()
+	if len(fv) != 1 || fv[0] != "x" {
+		t.Errorf("FreeVars = %v", fv)
+	}
+	g := And{L: Eq{X: "b", Y: "a"}, R: NewAtom("Likes", "a", "c")}
+	fv = g.FreeVars()
+	if len(fv) != 3 || fv[0] != "a" || fv[1] != "b" || fv[2] != "c" {
+		t.Errorf("FreeVars = %v", fv)
+	}
+}
+
+func TestConstants(t *testing.T) {
+	f := And{
+		L: EqConst{X: "x", C: rel.Int(5)},
+		R: NewExists([]Var{"y"}, NewAtom("Likes", "x", "y"), EqConst{X: "y", C: rel.Int(2)}),
+	}
+	cs := Constants(f)
+	if cs.Len() != 2 || !cs.Contains(rel.Int(5)) || !cs.Contains(rel.Int(2)) {
+		t.Errorf("Constants = %v", cs.Values())
+	}
+}
+
+func TestAnswersRequiresCoveringVars(t *testing.T) {
+	d := beerDB()
+	defer func() {
+		if recover() == nil {
+			t.Error("Answers with missing free var should panic")
+		}
+	}()
+	Answers(LousyBarFormula(), d, rel.Consts(), []Var{"y"})
+}
+
+func TestUnboundVariablePanics(t *testing.T) {
+	d := beerDB()
+	defer func() {
+		if recover() == nil {
+			t.Error("unbound variable should panic")
+		}
+	}()
+	Eval(Eq{X: "x", Y: "y"}, d, Assignment{"x": rel.Int(1)})
+}
+
+// TestAnswersMatchesBruteForce compares guarded evaluation of Exists
+// against a brute-force expansion over the active domain on random
+// databases. Guarded quantification must agree with "there exists a
+// guard tuple whose match satisfies the body".
+func TestAnswersMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := NewExists([]Var{"y"}, NewAtom("Visits", "x", "y"),
+		NewExists([]Var{"z"}, NewAtom("Serves", "y", "z"), Lt{X: "y", Y: "z"}))
+	for trial := 0; trial < 20; trial++ {
+		d := rel.NewDatabase(beerSchema())
+		for i := 0; i < 15; i++ {
+			d.AddInts("Visits", int64(rng.Intn(5)), int64(rng.Intn(5)))
+			d.AddInts("Serves", int64(rng.Intn(5)), int64(rng.Intn(5)))
+		}
+		for _, x := range d.ActiveDomain() {
+			got := Eval(f, d, Assignment{"x": x})
+			// brute force
+			want := false
+			for _, v := range d.Rel("Visits").Tuples() {
+				if !v[0].Equal(x) {
+					continue
+				}
+				for _, s := range d.Rel("Serves").Tuples() {
+					if s[0].Equal(v[1]) && v[1].Less(s[1]) {
+						want = true
+					}
+				}
+			}
+			if got != want {
+				t.Fatalf("trial %d x=%v: guarded eval %v, brute force %v", trial, x, got, want)
+			}
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f := LousyBarFormula()
+	s := f.String()
+	if s == "" {
+		t.Error("empty rendering")
+	}
+	for _, frag := range []string{"exists y", "Visits(x, y)", "Serves(y, z)", "Likes(w, z)"} {
+		if !contains(s, frag) {
+			t.Errorf("rendering %q missing %q", s, frag)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

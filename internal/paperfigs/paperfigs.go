@@ -1,0 +1,144 @@
+// Package paperfigs materializes every figure of the paper as data:
+// the medical example (Fig. 1), the C-stored illustration (Fig. 2),
+// the guarded-bisimulation example (Fig. 3), the Lemma 24 pumping
+// example (Fig. 4), the division lower-bound databases (Fig. 5) and
+// the cyclic-query databases (Fig. 6). The experiment driver and the
+// examples build on these constructors, and the package's tests form
+// the per-figure reproduction suite indexed in EXPERIMENTS.md.
+package paperfigs
+
+import (
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+)
+
+// Fig1 returns the medical database of Fig. 1 over
+// {Person/2, Disease/2, Symptoms/1}.
+func Fig1() *rel.Database {
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{
+		"Person": 2, "Disease": 2, "Symptoms": 1,
+	}))
+	for _, t := range [][2]string{
+		{"An", "headache"}, {"An", "sore throat"}, {"An", "neck pain"},
+		{"Bob", "headache"}, {"Bob", "sore throat"}, {"Bob", "memory loss"}, {"Bob", "neck pain"},
+		{"Carol", "headache"},
+	} {
+		d.AddStrs("Person", t[0], t[1])
+	}
+	for _, t := range [][2]string{
+		{"flu", "headache"}, {"flu", "sore throat"},
+		{"Lyme", "headache"}, {"Lyme", "sore throat"}, {"Lyme", "memory loss"}, {"Lyme", "neck pain"},
+	} {
+		d.AddStrs("Disease", t[0], t[1])
+	}
+	d.AddStrs("Symptoms", "headache")
+	d.AddStrs("Symptoms", "neck pain")
+	return d
+}
+
+// Fig1DivisionResult is Person ÷ Symptoms as printed in the figure.
+func Fig1DivisionResult() *rel.Relation {
+	return rel.FromTuples(1, rel.Strs("An"), rel.Strs("Bob"))
+}
+
+// Fig1SetJoinResult is the set-containment join of the figure.
+func Fig1SetJoinResult() *rel.Relation {
+	return rel.FromTuples(2,
+		rel.Strs("An", "flu"), rel.Strs("Bob", "flu"), rel.Strs("Bob", "Lyme"))
+}
+
+// Fig2 returns the database of Fig. 2 over {R/3, S/3, T/2}, used to
+// illustrate C-stored tuples with C = {a}.
+func Fig2() *rel.Database {
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 3, "S": 3, "T": 2}))
+	d.AddStrs("R", "a", "b", "c")
+	d.AddStrs("R", "d", "e", "f")
+	d.AddStrs("S", "d", "a", "b")
+	d.AddStrs("T", "e", "a")
+	d.AddStrs("T", "f", "c")
+	return d
+}
+
+// Fig3 returns the pair of databases of Fig. 3 (Example 12).
+func Fig3() (a, b *rel.Database) {
+	schema := rel.NewSchema(map[string]int{"R": 2, "S": 2, "T": 2})
+	a = rel.NewDatabase(schema)
+	a.AddInts("R", 1, 2)
+	a.AddInts("R", 2, 3)
+	a.AddInts("S", 1, 2)
+	a.AddInts("T", 2, 3)
+	b = rel.NewDatabase(schema)
+	b.AddInts("R", 6, 7)
+	b.AddInts("R", 7, 8)
+	b.AddInts("R", 9, 10)
+	b.AddInts("R", 10, 11)
+	b.AddInts("S", 6, 7)
+	b.AddInts("S", 9, 10)
+	b.AddInts("T", 7, 8)
+	b.AddInts("T", 10, 11)
+	return a, b
+}
+
+// Fig4 returns the database D of Fig. 4 and the expression
+// E = (R ⋉1=2 T) ⋈3=1 (S ⋉2=1 T) whose pumping the figure depicts.
+func Fig4() (*rel.Database, *ra.Join) {
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 3, "S": 3, "T": 2}))
+	d.AddInts("R", 1, 2, 3)
+	d.AddInts("R", 8, 9, 10)
+	d.AddInts("S", 3, 4, 5)
+	d.AddInts("T", 6, 1)
+	d.AddInts("T", 4, 7)
+	e1 := ra.EquiSemijoinExpr(ra.R("R", 3), ra.Eq(1, 2), ra.R("T", 2))
+	e2 := ra.EquiSemijoinExpr(ra.R("S", 3), ra.Eq(2, 1), ra.R("T", 2))
+	return d, ra.NewJoin(e1, ra.Eq(3, 1), e2)
+}
+
+// Fig5 returns the databases A and B of Fig. 5: A,1 and B,1 are
+// C-guarded bisimilar, yet R ÷ S = {1,2} on A and ∅ on B.
+func Fig5() (a, b *rel.Database) {
+	schema := rel.NewSchema(map[string]int{"R": 2, "S": 1})
+	a = rel.NewDatabase(schema)
+	for _, t := range [][2]int64{{1, 7}, {1, 8}, {2, 7}, {2, 8}} {
+		a.AddInts("R", t[0], t[1])
+	}
+	a.AddInts("S", 7)
+	a.AddInts("S", 8)
+	b = rel.NewDatabase(schema)
+	for _, t := range [][2]int64{{1, 7}, {1, 8}, {2, 8}, {2, 9}, {3, 7}, {3, 9}} {
+		b.AddInts("R", t[0], t[1])
+	}
+	b.AddInts("S", 7)
+	b.AddInts("S", 8)
+	b.AddInts("S", 9)
+	return a, b
+}
+
+// Fig6 returns the beer databases A and B of Section 4.1:
+// (A, alex) ∼ (B, alex) while the cyclic query answers differently.
+func Fig6() (a, b *rel.Database) {
+	schema := rel.NewSchema(map[string]int{"Visits": 2, "Serves": 2, "Likes": 2})
+	a = rel.NewDatabase(schema)
+	a.AddStrs("Visits", "alex", "pareto bar")
+	a.AddStrs("Serves", "pareto bar", "westmalle")
+	a.AddStrs("Likes", "alex", "westmalle")
+	b = rel.NewDatabase(schema)
+	b.AddStrs("Visits", "alex", "pareto bar")
+	b.AddStrs("Visits", "bart", "qwerty bar")
+	b.AddStrs("Serves", "pareto bar", "westmalle")
+	b.AddStrs("Serves", "qwerty bar", "westvleteren")
+	b.AddStrs("Likes", "alex", "westvleteren")
+	b.AddStrs("Likes", "bart", "westmalle")
+	return a, b
+}
+
+// Example3 returns the beer database used for Examples 3 and 7: alex
+// visits a good bar, bart visits a lousy one.
+func Example3() *rel.Database {
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"Likes": 2, "Serves": 2, "Visits": 2}))
+	d.AddStrs("Likes", "alex", "westmalle")
+	d.AddStrs("Serves", "pareto", "westmalle")
+	d.AddStrs("Serves", "qwerty", "stella")
+	d.AddStrs("Visits", "alex", "pareto")
+	d.AddStrs("Visits", "bart", "qwerty")
+	return d
+}

@@ -1,0 +1,123 @@
+package paperfigs
+
+import (
+	"testing"
+
+	"radiv/internal/bisim"
+	"radiv/internal/core"
+	"radiv/internal/division"
+	"radiv/internal/gf"
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+	"radiv/internal/setjoin"
+)
+
+// TestFig1Exact checks the figure's contents and both query results.
+func TestFig1Exact(t *testing.T) {
+	d := Fig1()
+	if d.Rel("Person").Len() != 8 || d.Rel("Disease").Len() != 6 || d.Rel("Symptoms").Len() != 2 {
+		t.Fatalf("Fig. 1 sizes wrong:\n%s", d)
+	}
+	div := ra.Eval(ra.DivisionExpr("Person", "Symptoms"), d)
+	if !div.Equal(Fig1DivisionResult()) {
+		t.Errorf("Person ÷ Symptoms = %v", div)
+	}
+	person := setjoin.Groups(d.Rel("Person"))
+	disease := setjoin.Groups(d.Rel("Disease"))
+	sj, _ := setjoin.InvertedIndexContainment{}.Join(person, disease)
+	if !sj.Equal(Fig1SetJoinResult()) {
+		t.Errorf("set-containment join = %v", sj)
+	}
+}
+
+// TestFig2Exact re-checks Example 5 on the Fig. 2 database.
+func TestFig2Exact(t *testing.T) {
+	d := Fig2()
+	c := rel.Consts(rel.Str("a"))
+	for _, tc := range []struct {
+		tuple  rel.Tuple
+		stored bool
+	}{
+		{rel.Strs("b", "c"), true},
+		{rel.Strs("a", "f"), true},
+		{rel.Strs("e", "c"), false},
+		{rel.Strs("g"), false},
+	} {
+		if got := rel.IsCStored(d, c, tc.tuple); got != tc.stored {
+			t.Errorf("IsCStored(%v) = %v, want %v", tc.tuple, got, tc.stored)
+		}
+	}
+}
+
+// TestFig3Exact: the checker proves the bisimilarity of Example 12.
+func TestFig3Exact(t *testing.T) {
+	a, b := Fig3()
+	ch := bisim.NewChecker(a, b, rel.Consts())
+	if !ch.Bisimilar(rel.Ints(1, 2), rel.Ints(6, 7)) {
+		t.Error("A,(1,2) ∼ B,(6,7) expected")
+	}
+}
+
+// TestFig4Exact: the witness and pump reproduce the construction.
+func TestFig4Exact(t *testing.T) {
+	d, e := Fig4()
+	w := core.FindWitnessAt(e, d)
+	if w == nil {
+		t.Fatal("no witness on Fig. 4")
+	}
+	p, err := core.NewPump(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := p.Measure([]int{1, 2, 3, 8})
+	for _, pt := range pts {
+		if pt.JoinOutput < pt.N*pt.N {
+			t.Errorf("n=%d: |E(Dn)| = %d < n²", pt.N, pt.JoinOutput)
+		}
+	}
+	if pts[1].DatabaseSize != 9 || pts[2].DatabaseSize != 13 {
+		t.Errorf("|D2|, |D3| = %d, %d; figure says 9 and 13",
+			pts[1].DatabaseSize, pts[2].DatabaseSize)
+	}
+}
+
+// TestFig5Exact: bisimilar pointed databases with different division
+// answers (Proposition 26).
+func TestFig5Exact(t *testing.T) {
+	a, b := Fig5()
+	ch := bisim.NewChecker(a, b, rel.Consts())
+	if !ch.Bisimilar(rel.Ints(1), rel.Ints(1)) {
+		t.Error("A,1 ∼ B,1 expected")
+	}
+	divA := division.Reference(a.Rel("R"), a.Rel("S"), division.Containment)
+	divB := division.Reference(b.Rel("R"), b.Rel("S"), division.Containment)
+	if divA.Len() != 2 || divB.Len() != 0 {
+		t.Errorf("division answers: A=%v B=%v", divA, divB)
+	}
+	// Equality variant also distinguishes them (both empty vs both
+	// qualify): on A both groups equal S, on B none.
+	eqA := division.Reference(a.Rel("R"), a.Rel("S"), division.Equality)
+	eqB := division.Reference(b.Rel("R"), b.Rel("S"), division.Equality)
+	if eqA.Len() != 2 || eqB.Len() != 0 {
+		t.Errorf("equality division answers: A=%v B=%v", eqA, eqB)
+	}
+}
+
+// TestFig6Exact: Section 4.1's cyclic query.
+func TestFig6Exact(t *testing.T) {
+	a, b := Fig6()
+	ch := bisim.NewChecker(a, b, rel.Consts())
+	if !ch.Bisimilar(rel.Strs("alex"), rel.Strs("alex")) {
+		t.Error("(A, alex) ∼ (B, alex) expected")
+	}
+}
+
+// TestExample3Exact: the lousy-bar database behaves as the examples
+// describe under both the SA= expression and the GF formula.
+func TestExample3Exact(t *testing.T) {
+	d := Example3()
+	ans := gf.Answers(gf.LousyBarFormula(), d, rel.Consts(), []gf.Var{"x"})
+	if !ans.Contains(rel.Strs("bart")) || ans.Contains(rel.Strs("alex")) {
+		t.Errorf("Example 7 on Example 3 data = %v", ans)
+	}
+}

@@ -1,0 +1,455 @@
+package parser
+
+import (
+	"fmt"
+
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+	"radiv/internal/sa"
+)
+
+// ParseRA parses a relational algebra expression against the schema.
+// Semijoin and antijoin operators are rejected (they belong to SA).
+func ParseRA(src string, schema rel.Schema) (ra.Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &exprParser{parserState: parserState{toks: toks}, schema: schema, allowJoin: true}
+	e, err := p.parseRA()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("parser: trailing input at %d: %q", p.peek().pos, p.peek().text)
+	}
+	return e, nil
+}
+
+// ParseSA parses a semijoin algebra expression against the schema.
+// The join operator is rejected (it belongs to RA).
+func ParseSA(src string, schema rel.Schema) (sa.Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &exprParser{parserState: parserState{toks: toks}, schema: schema}
+	e, err := p.parseSA()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("parser: trailing input at %d: %q", p.peek().pos, p.peek().text)
+	}
+	return e, nil
+}
+
+type exprParser struct {
+	parserState
+	schema    rel.Schema
+	allowJoin bool
+}
+
+// guard converts constructor panics (arity and index errors) into
+// parse errors.
+func guard(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("parser: %v", r)
+		}
+	}()
+	f()
+	return nil
+}
+
+func (p *exprParser) parseRA() (ra.Expr, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("parser: expected expression at %d, got %q", t.pos, t.text)
+	}
+	switch t.text {
+	case "union", "diff":
+		l, r, err := p.parseRAPair()
+		if err != nil {
+			return nil, err
+		}
+		var out ra.Expr
+		err = guard(func() {
+			if t.text == "union" {
+				out = ra.NewUnion(l, r)
+			} else {
+				out = ra.NewDiff(l, r)
+			}
+		})
+		return out, err
+	case "project":
+		cols, err := p.parseIntList()
+		if err != nil {
+			return nil, err
+		}
+		inner, err := p.parseRAParen()
+		if err != nil {
+			return nil, err
+		}
+		var out ra.Expr
+		err = guard(func() { out = ra.NewProject(cols, inner) })
+		return out, err
+	case "select":
+		i, op, j, err := p.parseSelector()
+		if err != nil {
+			return nil, err
+		}
+		inner, err := p.parseRAParen()
+		if err != nil {
+			return nil, err
+		}
+		var out ra.Expr
+		err = guard(func() { out = ra.NewSelect(i, op, j, inner) })
+		return out, err
+	case "selectc":
+		i, c, err := p.parseConstSelector()
+		if err != nil {
+			return nil, err
+		}
+		inner, err := p.parseRAParen()
+		if err != nil {
+			return nil, err
+		}
+		var out ra.Expr
+		err = guard(func() { out = ra.NewSelectConst(i, c, inner) })
+		return out, err
+	case "tag":
+		c, err := p.parseTagConst()
+		if err != nil {
+			return nil, err
+		}
+		inner, err := p.parseRAParen()
+		if err != nil {
+			return nil, err
+		}
+		return ra.NewConstTag(c, inner), nil
+	case "join":
+		cond, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		l, r, err := p.parseRAPair()
+		if err != nil {
+			return nil, err
+		}
+		var out ra.Expr
+		err = guard(func() { out = ra.NewJoin(l, cond, r) })
+		return out, err
+	case "semijoin", "antijoin":
+		return nil, fmt.Errorf("parser: %s is a semijoin-algebra operator; use ParseSA", t.text)
+	default:
+		arity, ok := p.schema.Arity(t.text)
+		if !ok {
+			return nil, fmt.Errorf("parser: unknown relation or operator %q at %d", t.text, t.pos)
+		}
+		return ra.R(t.text, arity), nil
+	}
+}
+
+func (p *exprParser) parseRAPair() (ra.Expr, ra.Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, nil, err
+	}
+	l, err := p.parseRA()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, nil, err
+	}
+	r, err := p.parseRA()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+func (p *exprParser) parseRAParen() (ra.Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseRA()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *exprParser) parseSA() (sa.Expr, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("parser: expected expression at %d, got %q", t.pos, t.text)
+	}
+	switch t.text {
+	case "union", "diff":
+		l, r, err := p.parseSAPair()
+		if err != nil {
+			return nil, err
+		}
+		var out sa.Expr
+		err = guard(func() {
+			if t.text == "union" {
+				out = sa.NewUnion(l, r)
+			} else {
+				out = sa.NewDiff(l, r)
+			}
+		})
+		return out, err
+	case "project":
+		cols, err := p.parseIntList()
+		if err != nil {
+			return nil, err
+		}
+		inner, err := p.parseSAParen()
+		if err != nil {
+			return nil, err
+		}
+		var out sa.Expr
+		err = guard(func() { out = sa.NewProject(cols, inner) })
+		return out, err
+	case "select":
+		i, op, j, err := p.parseSelector()
+		if err != nil {
+			return nil, err
+		}
+		inner, err := p.parseSAParen()
+		if err != nil {
+			return nil, err
+		}
+		var out sa.Expr
+		err = guard(func() { out = sa.NewSelect(i, op, j, inner) })
+		return out, err
+	case "selectc":
+		i, c, err := p.parseConstSelector()
+		if err != nil {
+			return nil, err
+		}
+		inner, err := p.parseSAParen()
+		if err != nil {
+			return nil, err
+		}
+		var out sa.Expr
+		err = guard(func() { out = sa.NewSelectConst(i, c, inner) })
+		return out, err
+	case "tag":
+		c, err := p.parseTagConst()
+		if err != nil {
+			return nil, err
+		}
+		inner, err := p.parseSAParen()
+		if err != nil {
+			return nil, err
+		}
+		return sa.NewConstTag(c, inner), nil
+	case "semijoin", "antijoin":
+		cond, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		l, r, err := p.parseSAPair()
+		if err != nil {
+			return nil, err
+		}
+		var out sa.Expr
+		err = guard(func() {
+			if t.text == "semijoin" {
+				out = sa.NewSemijoin(l, cond, r)
+			} else {
+				out = sa.NewAntijoin(l, cond, r)
+			}
+		})
+		return out, err
+	case "join":
+		return nil, fmt.Errorf("parser: join is a relational-algebra operator; use ParseRA")
+	default:
+		arity, ok := p.schema.Arity(t.text)
+		if !ok {
+			return nil, fmt.Errorf("parser: unknown relation or operator %q at %d", t.text, t.pos)
+		}
+		return sa.R(t.text, arity), nil
+	}
+}
+
+func (p *exprParser) parseSAPair() (sa.Expr, sa.Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, nil, err
+	}
+	l, err := p.parseSA()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, nil, err
+	}
+	r, err := p.parseSA()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+func (p *exprParser) parseSAParen() (sa.Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseSA()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// parseIntList parses "[1,2,3]" (possibly empty "[]").
+func (p *exprParser) parseIntList() ([]int, error) {
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	var cols []int
+	if p.peek().text == "]" {
+		p.next()
+		return cols, nil
+	}
+	for {
+		n, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, n)
+		t := p.next()
+		if t.text == "]" {
+			return cols, nil
+		}
+		if t.text != "," {
+			return nil, fmt.Errorf("parser: expected ',' or ']' at %d, got %q", t.pos, t.text)
+		}
+	}
+}
+
+// parseSelector parses "[i op j]".
+func (p *exprParser) parseSelector() (int, ra.Op, int, error) {
+	if err := p.expect("["); err != nil {
+		return 0, 0, 0, err
+	}
+	i, err := p.expectInt()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	op, err := p.parseOp()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	j, err := p.expectInt()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := p.expect("]"); err != nil {
+		return 0, 0, 0, err
+	}
+	return i, op, j, nil
+}
+
+// parseConstSelector parses "[i='c']".
+func (p *exprParser) parseConstSelector() (int, rel.Value, error) {
+	if err := p.expect("["); err != nil {
+		return 0, rel.Value{}, err
+	}
+	i, err := p.expectInt()
+	if err != nil {
+		return 0, rel.Value{}, err
+	}
+	if err := p.expect("="); err != nil {
+		return 0, rel.Value{}, err
+	}
+	t := p.next()
+	if t.kind != tokQuoted {
+		return 0, rel.Value{}, fmt.Errorf("parser: expected quoted constant at %d, got %q", t.pos, t.text)
+	}
+	if err := p.expect("]"); err != nil {
+		return 0, rel.Value{}, err
+	}
+	return i, rel.ParseValue(t.text), nil
+}
+
+// parseTagConst parses "['c']".
+func (p *exprParser) parseTagConst() (rel.Value, error) {
+	if err := p.expect("["); err != nil {
+		return rel.Value{}, err
+	}
+	t := p.next()
+	if t.kind != tokQuoted {
+		return rel.Value{}, fmt.Errorf("parser: expected quoted constant at %d, got %q", t.pos, t.text)
+	}
+	if err := p.expect("]"); err != nil {
+		return rel.Value{}, err
+	}
+	return rel.ParseValue(t.text), nil
+}
+
+// parseCond parses "[true]" or "[2=1,3<2]".
+func (p *exprParser) parseCond() (ra.Cond, error) {
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	if p.peek().text == "true" {
+		p.next()
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	var cond ra.Cond
+	for {
+		i, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		op, err := p.parseOp()
+		if err != nil {
+			return nil, err
+		}
+		j, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		cond = append(cond, ra.A(i, op, j))
+		t := p.next()
+		if t.text == "]" {
+			return cond, nil
+		}
+		if t.text != "," {
+			return nil, fmt.Errorf("parser: expected ',' or ']' at %d, got %q", t.pos, t.text)
+		}
+	}
+}
+
+func (p *exprParser) parseOp() (ra.Op, error) {
+	t := p.next()
+	switch t.text {
+	case "=":
+		return ra.OpEq, nil
+	case "!=":
+		return ra.OpNe, nil
+	case "<":
+		return ra.OpLt, nil
+	case ">":
+		return ra.OpGt, nil
+	}
+	return 0, fmt.Errorf("parser: expected comparison operator at %d, got %q", t.pos, t.text)
+}

@@ -1,0 +1,212 @@
+package parser
+
+import (
+	"fmt"
+
+	"radiv/internal/gf"
+	"radiv/internal/rel"
+)
+
+// ParseGF parses a guarded-fragment formula. Precedence, loosest to
+// tightest: <->, ->, |, &, !, atoms. "exists v1,v2 (guard & body)"
+// binds like an atom.
+func ParseGF(src string) (gf.Formula, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &formulaParser{parserState{toks: toks}}
+	f, err := p.parseIff()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("parser: trailing input at %d: %q", p.peek().pos, p.peek().text)
+	}
+	return f, nil
+}
+
+type formulaParser struct {
+	parserState
+}
+
+func (p *formulaParser) parseIff() (gf.Formula, error) {
+	l, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().text == "<->" {
+		p.next()
+		r, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		l = gf.Iff{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *formulaParser) parseImplies() (gf.Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().text == "->" {
+		p.next()
+		r, err := p.parseImplies() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return gf.Implies{L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *formulaParser) parseOr() (gf.Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().text == "|" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = gf.Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *formulaParser) parseAnd() (gf.Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().text == "&" {
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = gf.And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *formulaParser) parseUnary() (gf.Formula, error) {
+	t := p.peek()
+	switch {
+	case t.text == "!":
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return gf.Not{F: f}, nil
+	case t.text == "(":
+		p.next()
+		f, err := p.parseIff()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case t.kind == tokIdent && t.text == "exists":
+		return p.parseExists()
+	case t.kind == tokIdent:
+		return p.parseAtomOrComparison()
+	}
+	return nil, fmt.Errorf("parser: expected formula at %d, got %q", t.pos, t.text)
+}
+
+// parseExists parses "exists v1,v2 (guard & body)".
+func (p *formulaParser) parseExists() (gf.Formula, error) {
+	p.next() // exists
+	var vars []gf.Var
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("parser: expected variable at %d, got %q", t.pos, t.text)
+		}
+		vars = append(vars, gf.Var(t.text))
+		if p.peek().text != "," {
+			break
+		}
+		p.next()
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	guardF, err := p.parseAtomOrComparison()
+	if err != nil {
+		return nil, err
+	}
+	guard, ok := guardF.(gf.Atom)
+	if !ok {
+		return nil, fmt.Errorf("parser: exists guard must be a relation atom, got %s", guardF)
+	}
+	if err := p.expect("&"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseIff()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return gf.NewExists(vars, guard, body), nil
+}
+
+// parseAtomOrComparison parses "R(x, y)", "x = y", "x < y" or
+// "x = 'c'".
+func (p *formulaParser) parseAtomOrComparison() (gf.Formula, error) {
+	name := p.next()
+	if name.kind != tokIdent {
+		return nil, fmt.Errorf("parser: expected identifier at %d, got %q", name.pos, name.text)
+	}
+	switch p.peek().text {
+	case "(":
+		p.next()
+		var args []gf.Var
+		if p.peek().text == ")" {
+			p.next()
+			return gf.Atom{Rel: name.text}, nil
+		}
+		for {
+			t := p.next()
+			if t.kind != tokIdent {
+				return nil, fmt.Errorf("parser: expected variable at %d, got %q", t.pos, t.text)
+			}
+			args = append(args, gf.Var(t.text))
+			sep := p.next()
+			if sep.text == ")" {
+				return gf.NewAtom(name.text, args...), nil
+			}
+			if sep.text != "," {
+				return nil, fmt.Errorf("parser: expected ',' or ')' at %d, got %q", sep.pos, sep.text)
+			}
+		}
+	case "=":
+		p.next()
+		t := p.next()
+		switch t.kind {
+		case tokIdent:
+			return gf.Eq{X: gf.Var(name.text), Y: gf.Var(t.text)}, nil
+		case tokQuoted:
+			return gf.EqConst{X: gf.Var(name.text), C: rel.ParseValue(t.text)}, nil
+		}
+		return nil, fmt.Errorf("parser: expected variable or constant at %d, got %q", t.pos, t.text)
+	case "<":
+		p.next()
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("parser: expected variable at %d, got %q", t.pos, t.text)
+		}
+		return gf.Lt{X: gf.Var(name.text), Y: gf.Var(t.text)}, nil
+	}
+	return nil, fmt.Errorf("parser: expected '(', '=' or '<' after %q at %d", name.text, name.pos)
+}

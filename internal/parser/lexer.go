@@ -1,0 +1,138 @@
+// Package parser provides a text syntax for relational algebra,
+// semijoin algebra and guarded-fragment expressions, matching the
+// String() renderings of the ra, sa and gf packages (so every
+// expression round-trips). The cmd tools use it to accept queries on
+// the command line.
+//
+// Expression syntax (RA and SA):
+//
+//	R                              relation name (arity from schema)
+//	union(E1, E2)   diff(E1, E2)
+//	project[1,2](E)
+//	select[1=2](E)  select[1<2](E)  select[1!=2](E)  select[1>2](E)
+//	selectc[1='c'](E)
+//	tag['c'](E)
+//	join[2=1,3<1](E1, E2)          RA only
+//	semijoin[2=1](E1, E2)          SA only
+//	antijoin[2=1](E1, E2)          SA only
+//
+// Formula syntax (GF):
+//
+//	R(x, y)   x = y   x < y   x = 'c'
+//	!(f)   (f & g)   (f | g)   (f -> g)   (f <-> g)
+//	exists y,z (R(x, y) & f)
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokQuoted
+	tokPunct // single punctuation or operator: ( ) [ ] , = < > ! & | and multi: != -> <->
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '\'':
+			start := l.pos + 1
+			end := strings.IndexByte(l.src[start:], '\'')
+			if end < 0 {
+				return nil, fmt.Errorf("parser: unterminated quote at %d", l.pos)
+			}
+			l.toks = append(l.toks, token{tokQuoted, l.src[start : start+end], l.pos})
+			l.pos = start + end + 1
+		case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokInt, l.src[start:l.pos], start})
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+		default:
+			// Multi-character operators first.
+			rest := l.src[l.pos:]
+			for _, op := range []string{"<->", "->", "!=", "<", ">", "=", "(", ")", "[", "]", ",", "&", "|", "!"} {
+				if strings.HasPrefix(rest, op) {
+					l.toks = append(l.toks, token{tokPunct, op, l.pos})
+					l.pos += len(op)
+					rest = ""
+					break
+				}
+			}
+			if rest != "" {
+				return nil, fmt.Errorf("parser: unexpected character %q at %d", c, l.pos)
+			}
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", len(l.src)})
+	return l.toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+type parserState struct {
+	toks []token
+	i    int
+}
+
+func (p *parserState) peek() token  { return p.toks[p.i] }
+func (p *parserState) next() token  { t := p.toks[p.i]; p.i++; return t }
+func (p *parserState) atEOF() bool  { return p.toks[p.i].kind == tokEOF }
+
+func (p *parserState) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return fmt.Errorf("parser: expected %q at %d, got %q", text, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parserState) expectInt() (int, error) {
+	t := p.next()
+	if t.kind != tokInt {
+		return 0, fmt.Errorf("parser: expected integer at %d, got %q", t.pos, t.text)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("parser: bad integer %q: %v", t.text, err)
+	}
+	return n, nil
+}

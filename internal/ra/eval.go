@@ -1,0 +1,231 @@
+package ra
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"radiv/internal/rel"
+)
+
+// Trace records, for one evaluation, the output cardinality of every
+// subexpression. It is the observable that Definition 16's c(E)
+// function measures: an expression is linear when every subexpression
+// stays O(n) and quadratic when some subexpression reaches Ω(n²).
+type Trace struct {
+	// Steps lists each evaluated node with its output size, in
+	// post-order (children before parents).
+	Steps []TraceStep
+	// MaxIntermediate is the maximum output cardinality over all
+	// subexpressions, including the root.
+	MaxIntermediate int
+	// TotalTuples is the sum of all output cardinalities — a proxy for
+	// the total work an iterator-based executor would materialize.
+	TotalTuples int
+}
+
+// TraceStep is one subexpression's evaluation record.
+type TraceStep struct {
+	Expr Expr
+	Size int
+}
+
+func (tr *Trace) record(e Expr, size int) {
+	tr.Steps = append(tr.Steps, TraceStep{e, size})
+	if size > tr.MaxIntermediate {
+		tr.MaxIntermediate = size
+	}
+	tr.TotalTuples += size
+}
+
+// String renders the trace as a table of subexpression sizes.
+func (tr *Trace) String() string {
+	var b strings.Builder
+	for _, s := range tr.Steps {
+		fmt.Fprintf(&b, "%8d  %s\n", s.Size, s.Expr)
+	}
+	fmt.Fprintf(&b, "max intermediate: %d\n", tr.MaxIntermediate)
+	return b.String()
+}
+
+// Eval evaluates the expression on the database and returns the result
+// relation.
+func Eval(e Expr, d *rel.Database) *rel.Relation {
+	res, _ := EvalTraced(e, d)
+	return res
+}
+
+// EvalTraced evaluates the expression and also returns the
+// intermediate-size trace.
+func EvalTraced(e Expr, d *rel.Database) (*rel.Relation, *Trace) {
+	tr := &Trace{}
+	res := eval(e, d, tr)
+	return res, tr
+}
+
+func eval(e Expr, d *rel.Database, tr *Trace) *rel.Relation {
+	var out *rel.Relation
+	switch n := e.(type) {
+	case *Rel:
+		r := d.Rel(n.Name)
+		if r.Arity() != n.arity {
+			panic(fmt.Sprintf("ra: relation %s has arity %d in database, expression expects %d", n.Name, r.Arity(), n.arity))
+		}
+		out = r
+	case *Union:
+		out = eval(n.L, d, tr).Union(eval(n.E, d, tr))
+	case *Diff:
+		out = eval(n.L, d, tr).Diff(eval(n.E, d, tr))
+	case *Project:
+		out = eval(n.E, d, tr).Project(n.Cols...)
+	case *Select:
+		in := eval(n.E, d, tr)
+		out = rel.NewRelation(in.Arity())
+		for _, t := range in.Tuples() {
+			if n.Op.Eval(t[n.I-1], t[n.J-1]) {
+				out.Add(t)
+			}
+		}
+	case *SelectConst:
+		in := eval(n.E, d, tr)
+		out = rel.NewRelation(in.Arity())
+		for _, t := range in.Tuples() {
+			if t[n.I-1].Equal(n.C) {
+				out.Add(t)
+			}
+		}
+	case *ConstTag:
+		in := eval(n.E, d, tr)
+		out = rel.NewRelation(in.Arity() + 1)
+		for _, t := range in.Tuples() {
+			out.Add(t.Concat(rel.Tuple{n.C}))
+		}
+	case *Join:
+		out = evalJoin(n, eval(n.L, d, tr), eval(n.E, d, tr))
+	default:
+		panic(fmt.Sprintf("ra: unknown expression %T", e))
+	}
+	tr.record(e, out.Len())
+	return out
+}
+
+// evalJoin computes r1 ⋈θ r2. When θ contains equality atoms a hash
+// join on the equality columns is used; the remaining atoms are applied
+// as a residual filter. Without equalities it falls back to a
+// nested-loop join.
+func evalJoin(j *Join, r1, r2 *rel.Relation) *rel.Relation {
+	out := rel.NewRelation(r1.Arity() + r2.Arity())
+	eqs := j.Cond.EqPairs()
+	if len(eqs) == 0 {
+		for _, a := range r1.Tuples() {
+			for _, b := range r2.Tuples() {
+				if j.Cond.Holds(a, b) {
+					out.Add(a.Concat(b))
+				}
+			}
+		}
+		return out
+	}
+	// Hash r2 on its equality columns.
+	key := func(t rel.Tuple, side int) string {
+		k := make(rel.Tuple, len(eqs))
+		for i, p := range eqs {
+			if side == 0 {
+				k[i] = t[p[0]-1]
+			} else {
+				k[i] = t[p[1]-1]
+			}
+		}
+		return k.Key()
+	}
+	index := make(map[string][]rel.Tuple, r2.Len())
+	for _, b := range r2.Tuples() {
+		k := key(b, 1)
+		index[k] = append(index[k], b)
+	}
+	for _, a := range r1.Tuples() {
+		for _, b := range index[key(a, 0)] {
+			if j.Cond.Holds(a, b) {
+				out.Add(a.Concat(b))
+			}
+		}
+	}
+	return out
+}
+
+// SizeProfile runs the expression on a family of databases produced by
+// gen for increasing scale parameters and returns, per scale, the
+// database size and the maximum intermediate size. It is the raw
+// material for the empirical dichotomy experiments (Theorem 17).
+type SizePoint struct {
+	Scale           int
+	DatabaseSize    int
+	OutputSize      int
+	MaxIntermediate int
+}
+
+// Profile evaluates e on gen(scale) for each scale and records the
+// growth of intermediate results.
+func Profile(e Expr, gen func(scale int) *rel.Database, scales []int) []SizePoint {
+	pts := make([]SizePoint, 0, len(scales))
+	for _, s := range scales {
+		d := gen(s)
+		res, tr := EvalTraced(e, d)
+		pts = append(pts, SizePoint{
+			Scale:           s,
+			DatabaseSize:    d.Size(),
+			OutputSize:      res.Len(),
+			MaxIntermediate: tr.MaxIntermediate,
+		})
+	}
+	return pts
+}
+
+// GrowthExponent estimates the exponent p such that max-intermediate ≈
+// c·|D|^p from a profile, by least-squares on the log–log points.
+// Points with zero sizes are skipped; if fewer than two usable points
+// remain it returns 0.
+func GrowthExponent(pts []SizePoint) float64 {
+	type xy struct{ x, y float64 }
+	var data []xy
+	for _, p := range pts {
+		if p.DatabaseSize > 0 && p.MaxIntermediate > 0 {
+			data = append(data, xy{math.Log(float64(p.DatabaseSize)), math.Log(float64(p.MaxIntermediate))})
+		}
+	}
+	if len(data) < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for _, d := range data {
+		sx += d.x
+		sy += d.y
+		sxx += d.x * d.x
+		sxy += d.x * d.y
+	}
+	n := float64(len(data))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// sortSteps orders the steps of a trace by decreasing size; useful for
+// reporting the dominating subexpression.
+func (tr *Trace) sortSteps() []TraceStep {
+	s := make([]TraceStep, len(tr.Steps))
+	copy(s, tr.Steps)
+	sort.SliceStable(s, func(i, j int) bool { return s[i].Size > s[j].Size })
+	return s
+}
+
+// Dominating returns the subexpression with the largest output in the
+// trace.
+func (tr *Trace) Dominating() TraceStep {
+	if len(tr.Steps) == 0 {
+		return TraceStep{}
+	}
+	return tr.sortSteps()[0]
+}

@@ -1,0 +1,151 @@
+package rel
+
+// This file implements "C-stored" tuples (Definition 4): a tuple d̄ is
+// C-stored in a database D when the tuple obtained from d̄ by deleting
+// all values belonging to the constant set C occurs in some projection
+// π_{i1,...,ip}(D(R)) of some relation R. C-stored tuples are exactly
+// the tuples an SA= expression with constants in C can output, and the
+// domain over which the GF ↔ SA= correspondence (Theorem 8) is stated.
+
+// ConstSet is a finite set of constants C ⊆ U.
+type ConstSet struct {
+	vals []Value // sorted, deduplicated
+}
+
+// Consts builds a constant set from the given values.
+func Consts(vs ...Value) ConstSet {
+	return ConstSet{vals: Tuple(vs).Set()}
+}
+
+// IntConsts builds a constant set of integers.
+func IntConsts(ns ...int64) ConstSet {
+	t := make(Tuple, len(ns))
+	for i, n := range ns {
+		t[i] = Int(n)
+	}
+	return ConstSet{vals: t.Set()}
+}
+
+// Values returns the constants in increasing order. The slice is owned
+// by the set and must not be modified.
+func (c ConstSet) Values() []Value { return c.vals }
+
+// Len returns the number of constants.
+func (c ConstSet) Len() int { return len(c.vals) }
+
+// Contains reports membership of v in C.
+func (c ConstSet) Contains(v Value) bool {
+	lo, hi := 0, len(c.vals)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch cmp := c.vals[mid].Cmp(v); {
+		case cmp == 0:
+			return true
+		case cmp < 0:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false
+}
+
+// Union returns C ∪ D.
+func (c ConstSet) Union(d ConstSet) ConstSet {
+	all := append(append(Tuple{}, c.vals...), d.vals...)
+	return ConstSet{vals: all.Set()}
+}
+
+// StripC returns the subsequence of t whose values are not in C — the
+// tuple "obtained by deleting in d̄ all values in C" of Definition 4.
+func (c ConstSet) StripC(t Tuple) Tuple {
+	out := make(Tuple, 0, len(t))
+	for _, v := range t {
+		if !c.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsCStored reports whether tuple t is C-stored in database d
+// (Definition 4). The empty stripped tuple is C-stored iff some
+// relation of d is nonempty (the empty projection of a nonempty
+// relation contains the empty tuple); this matches π over an empty
+// index list.
+func IsCStored(d *Database, c ConstSet, t Tuple) bool {
+	stripped := c.StripC(t)
+	for _, name := range d.Schema().Names() {
+		r := d.Rel(name)
+		if r.Len() == 0 {
+			continue
+		}
+		if len(stripped) == 0 {
+			return true
+		}
+		for _, u := range r.Tuples() {
+			if tupleEmbeds(u, stripped) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tupleEmbeds reports whether every component of want occurs somewhere
+// in have; i.e. want ∈ π_{i1..ip}(R) is witnessed by the single tuple
+// have (projection indices may repeat and reorder, so the condition is
+// exactly set containment of components).
+func tupleEmbeds(have Tuple, want Tuple) bool {
+	for _, v := range want {
+		if !have.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// CStoredTuples enumerates all C-stored tuples of the given arity in
+// database d. The enumeration is the semantic counterpart of the
+// AllCStored expression used by the GF → SA= translation: for every
+// tuple u of the tuple space and every way of filling the k positions
+// with either a component of u or a constant from C, emit the filled
+// tuple. Results are deduplicated; order is deterministic.
+//
+// The number of candidates is |T_D| · (arity(u)+|C|)^k, so this is
+// meant for the small arities (k ≤ 4) used in tests and translations.
+func CStoredTuples(d *Database, c ConstSet, k int) []Tuple {
+	seen := make(map[string]bool)
+	var out []Tuple
+	emit := func(t Tuple) {
+		key := t.Key()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, t.Clone())
+		}
+	}
+	if k == 0 {
+		if d.Size() > 0 {
+			emit(Tuple{})
+		}
+		return out
+	}
+	for _, st := range d.TupleSpace() {
+		choices := append(append(Tuple{}, st.Tuple...), c.vals...)
+		choices = Tuple(choices).Set()
+		cur := make(Tuple, k)
+		var rec func(pos int)
+		rec = func(pos int) {
+			if pos == k {
+				emit(cur)
+				return
+			}
+			for _, v := range choices {
+				cur[pos] = v
+				rec(pos + 1)
+			}
+		}
+		rec(0)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package rel
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file provides a minimal text format for databases so the cmd/
+// tools can load and store data. The format is line oriented:
+//
+//	# comment
+//	@R 3            -- declares relation R of arity 3
+//	R 1,2,3         -- adds tuple (1,2,3) to R
+//	R a,b,c         -- values parse as int when possible, else string
+//
+// Blank lines are ignored. A tuple line for an undeclared relation
+// implicitly declares it with the tuple's arity.
+
+// WriteText writes the database in the text format.
+func WriteText(w io.Writer, d *Database) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range d.Schema().Names() {
+		if _, err := fmt.Fprintf(bw, "@%s %d\n", name, d.Schema()[name]); err != nil {
+			return err
+		}
+		for _, t := range d.Rel(name).Sorted() {
+			parts := make([]string, len(t))
+			for i, v := range t {
+				parts[i] = v.String()
+			}
+			if _, err := fmt.Fprintf(bw, "%s %s\n", name, strings.Join(parts, ",")); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a database from the text format.
+func ReadText(r io.Reader) (*Database, error) {
+	schema := Schema{}
+	type row struct {
+		rel  string
+		vals Tuple
+	}
+	var rows []row
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "@") {
+			var name string
+			var arity int
+			if _, err := fmt.Sscanf(line, "@%s %d", &name, &arity); err != nil {
+				return nil, fmt.Errorf("line %d: bad declaration %q: %v", lineno, line, err)
+			}
+			if prev, ok := schema[name]; ok && prev != arity {
+				return nil, fmt.Errorf("line %d: relation %s redeclared with arity %d (was %d)", lineno, name, arity, prev)
+			}
+			schema[name] = arity
+			continue
+		}
+		sp := strings.IndexAny(line, " \t")
+		if sp < 0 {
+			return nil, fmt.Errorf("line %d: expected '<rel> <v1,v2,...>', got %q", lineno, line)
+		}
+		name := line[:sp]
+		fields := strings.Split(strings.TrimSpace(line[sp+1:]), ",")
+		t := make(Tuple, len(fields))
+		for i, f := range fields {
+			t[i] = ParseValue(strings.TrimSpace(f))
+		}
+		if a, ok := schema[name]; ok {
+			if a != len(t) {
+				return nil, fmt.Errorf("line %d: tuple arity %d for relation %s of arity %d", lineno, len(t), name, a)
+			}
+		} else {
+			schema[name] = len(t)
+		}
+		rows = append(rows, row{name, t})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	d := NewDatabase(schema)
+	for _, rw := range rows {
+		d.Add(rw.rel, rw.vals)
+	}
+	return d, nil
+}

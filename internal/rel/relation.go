@@ -1,0 +1,194 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a finite set of tuples of a fixed arity. Relations have
+// set semantics (no duplicates) as in Definition 1; insertion order is
+// preserved for deterministic iteration, which keeps tests and
+// benchmark output stable.
+type Relation struct {
+	arity  int
+	tuples []Tuple
+	index  map[string]int // Key() -> position in tuples
+}
+
+// NewRelation returns an empty relation of the given arity. Arity 0 is
+// allowed: the two arity-0 relations {} and {()} act as boolean false
+// and true, which several algebraic rewrites rely on.
+func NewRelation(arity int) *Relation {
+	if arity < 0 {
+		panic("rel: negative arity")
+	}
+	return &Relation{arity: arity, index: make(map[string]int)}
+}
+
+// FromTuples builds a relation of the given arity from tuples,
+// deduplicating as it goes. It panics if a tuple has the wrong arity.
+func FromTuples(arity int, ts ...Tuple) *Relation {
+	r := NewRelation(arity)
+	for _, t := range ts {
+		r.Add(t)
+	}
+	return r
+}
+
+// FromRows builds a binary-or-wider relation from rows of int64s.
+func FromRows(arity int, rows ...[]int64) *Relation {
+	r := NewRelation(arity)
+	for _, row := range rows {
+		if len(row) != arity {
+			panic(fmt.Sprintf("rel: row arity %d, want %d", len(row), arity))
+		}
+		r.Add(Ints(row...))
+	}
+	return r
+}
+
+// Arity returns the arity of the relation.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the cardinality of the relation — its "size" in the sense
+// of Definition 15.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Add inserts a tuple, ignoring duplicates. It reports whether the
+// tuple was new. It panics if the tuple has the wrong arity.
+func (r *Relation) Add(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("rel: tuple arity %d inserted into relation of arity %d", len(t), r.arity))
+	}
+	k := t.Key()
+	if _, ok := r.index[k]; ok {
+		return false
+	}
+	r.index[k] = len(r.tuples)
+	r.tuples = append(r.tuples, t.Clone())
+	return true
+}
+
+// Contains reports membership of t in the relation.
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != r.arity {
+		return false
+	}
+	_, ok := r.index[t.Key()]
+	return ok
+}
+
+// Tuples returns the tuples in insertion order. The returned slice is
+// owned by the relation and must not be modified.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Sorted returns the tuples in lexicographic order as a fresh slice.
+func (r *Relation) Sorted() []Tuple {
+	ts := make([]Tuple, len(r.tuples))
+	copy(ts, r.tuples)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Cmp(ts[j]) < 0 })
+	return ts
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.arity)
+	for _, t := range r.tuples {
+		c.Add(t)
+	}
+	return c
+}
+
+// Equal reports whether two relations hold exactly the same set of
+// tuples (arity included).
+func (r *Relation) Equal(s *Relation) bool {
+	if r.arity != s.arity || len(r.tuples) != len(s.tuples) {
+		return false
+	}
+	for _, t := range r.tuples {
+		if !s.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns r ∪ s. Both relations must have the same arity.
+func (r *Relation) Union(s *Relation) *Relation {
+	mustSameArity(r, s)
+	out := r.Clone()
+	for _, t := range s.tuples {
+		out.Add(t)
+	}
+	return out
+}
+
+// Diff returns r − s. Both relations must have the same arity.
+func (r *Relation) Diff(s *Relation) *Relation {
+	mustSameArity(r, s)
+	out := NewRelation(r.arity)
+	for _, t := range r.tuples {
+		if !s.Contains(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Intersect returns r ∩ s. Both relations must have the same arity.
+func (r *Relation) Intersect(s *Relation) *Relation {
+	mustSameArity(r, s)
+	out := NewRelation(r.arity)
+	small, large := r, s
+	if s.Len() < r.Len() {
+		small, large = s, r
+	}
+	for _, t := range small.tuples {
+		if large.Contains(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Project returns π_{idx}(r) with 1-based indices, which may repeat and
+// reorder columns (Definition 1(3)).
+func (r *Relation) Project(idx ...int) *Relation {
+	for _, i := range idx {
+		if i < 1 || i > r.arity {
+			panic(fmt.Sprintf("rel: projection index %d out of range 1..%d", i, r.arity))
+		}
+	}
+	out := NewRelation(len(idx))
+	for _, t := range r.tuples {
+		out.Add(t.Project(idx))
+	}
+	return out
+}
+
+// Values returns the sorted set of all values occurring in the
+// relation.
+func (r *Relation) Values() []Value {
+	var vs []Value
+	for _, t := range r.tuples {
+		vs = append(vs, t...)
+	}
+	return Tuple(vs).Set()
+}
+
+// String renders the relation as a sorted list of tuples, one per line.
+func (r *Relation) String() string {
+	var b strings.Builder
+	for _, t := range r.Sorted() {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func mustSameArity(r, s *Relation) {
+	if r.arity != s.arity {
+		panic(fmt.Sprintf("rel: arity mismatch %d vs %d", r.arity, s.arity))
+	}
+}

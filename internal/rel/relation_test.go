@@ -1,0 +1,162 @@
+package rel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelationAddDedup(t *testing.T) {
+	r := NewRelation(2)
+	if !r.Add(Ints(1, 2)) {
+		t.Error("first Add should report new")
+	}
+	if r.Add(Ints(1, 2)) {
+		t.Error("duplicate Add should report old")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if !r.Contains(Ints(1, 2)) || r.Contains(Ints(2, 1)) {
+		t.Error("Contains broken")
+	}
+}
+
+func TestRelationArityChecks(t *testing.T) {
+	r := NewRelation(2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Add with wrong arity should panic")
+			}
+		}()
+		r.Add(Ints(1))
+	}()
+	if r.Contains(Ints(1)) {
+		t.Error("Contains with wrong arity should be false")
+	}
+}
+
+func TestRelationZeroArity(t *testing.T) {
+	truthy := FromTuples(0, Tuple{})
+	falsy := NewRelation(0)
+	if truthy.Len() != 1 || falsy.Len() != 0 {
+		t.Error("arity-0 relations broken")
+	}
+	if !truthy.Contains(Tuple{}) {
+		t.Error("truthy should contain ()")
+	}
+}
+
+func TestRelationSetOps(t *testing.T) {
+	r := FromRows(2, []int64{1, 2}, []int64{3, 4})
+	s := FromRows(2, []int64{3, 4}, []int64{5, 6})
+	if got := r.Union(s); got.Len() != 3 {
+		t.Errorf("Union size = %d", got.Len())
+	}
+	if got := r.Diff(s); got.Len() != 1 || !got.Contains(Ints(1, 2)) {
+		t.Errorf("Diff = %v", got)
+	}
+	if got := r.Intersect(s); got.Len() != 1 || !got.Contains(Ints(3, 4)) {
+		t.Errorf("Intersect = %v", got)
+	}
+}
+
+func TestRelationProject(t *testing.T) {
+	r := FromRows(3, []int64{1, 2, 3}, []int64{1, 2, 4})
+	p := r.Project(1, 2)
+	if p.Len() != 1 || !p.Contains(Ints(1, 2)) {
+		t.Errorf("projection should dedup: %v", p)
+	}
+	q := r.Project(3, 3, 1)
+	if q.Arity() != 3 || !q.Contains(Ints(3, 3, 1)) || !q.Contains(Ints(4, 4, 1)) {
+		t.Errorf("repeat/reorder projection broken: %v", q)
+	}
+	empty := r.Project()
+	if empty.Arity() != 0 || empty.Len() != 1 {
+		t.Errorf("empty projection of nonempty relation should be {()}: %v", empty)
+	}
+}
+
+func TestRelationProjectOutOfRange(t *testing.T) {
+	r := FromRows(2, []int64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range projection should panic")
+		}
+	}()
+	r.Project(3)
+}
+
+func TestRelationEqualCloneValues(t *testing.T) {
+	r := FromRows(2, []int64{1, 2}, []int64{3, 4})
+	c := r.Clone()
+	if !r.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c.Add(Ints(5, 6))
+	if r.Equal(c) || r.Len() != 2 {
+		t.Error("clone shares state")
+	}
+	vals := r.Values()
+	if len(vals) != 4 || !vals[0].Equal(Int(1)) || !vals[3].Equal(Int(4)) {
+		t.Errorf("Values = %v", vals)
+	}
+}
+
+func TestRelationSortedDeterministic(t *testing.T) {
+	r := FromRows(2, []int64{3, 4}, []int64{1, 2}, []int64{2, 9})
+	s := r.Sorted()
+	if !s[0].Equal(Ints(1, 2)) || !s[1].Equal(Ints(2, 9)) || !s[2].Equal(Ints(3, 4)) {
+		t.Errorf("Sorted = %v", s)
+	}
+	if !strings.Contains(r.String(), "(1, 2)") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestRelationArityMismatchPanics(t *testing.T) {
+	r := NewRelation(2)
+	s := NewRelation(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Union across arities should panic")
+		}
+	}()
+	r.Union(s)
+}
+
+// Property: union is commutative and idempotent; difference removes
+// exactly the intersection.
+func TestRelationSetAlgebraProperties(t *testing.T) {
+	mk := func(rows [][2]int64) *Relation {
+		r := NewRelation(2)
+		for _, row := range rows {
+			r.Add(Ints(row[0]%8, row[1]%8))
+		}
+		return r
+	}
+	comm := func(a, b [][2]int64) bool {
+		ra, rb := mk(a), mk(b)
+		return ra.Union(rb).Equal(rb.Union(ra))
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Errorf("union commutativity: %v", err)
+	}
+	idem := func(a [][2]int64) bool {
+		ra := mk(a)
+		return ra.Union(ra).Equal(ra)
+	}
+	if err := quick.Check(idem, nil); err != nil {
+		t.Errorf("union idempotence: %v", err)
+	}
+	excl := func(a, b [][2]int64) bool {
+		ra, rb := mk(a), mk(b)
+		diff := ra.Diff(rb)
+		return diff.Intersect(rb).Len() == 0 &&
+			diff.Union(ra.Intersect(rb)).Equal(ra)
+	}
+	if err := quick.Check(excl, nil); err != nil {
+		t.Errorf("difference laws: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+package rel
+
+import (
+	"sort"
+	"strings"
+)
+
+// Tuple is a finite sequence of values. Tuples are positional;
+// following the paper, external APIs (projection lists, selection and
+// join conditions) address components with 1-based indices.
+type Tuple []Value
+
+// T builds a tuple from its values.
+func T(vs ...Value) Tuple { return Tuple(vs) }
+
+// Ints builds a tuple of integer values.
+func Ints(ns ...int64) Tuple {
+	t := make(Tuple, len(ns))
+	for i, n := range ns {
+		t[i] = Int(n)
+	}
+	return t
+}
+
+// Strs builds a tuple of string values.
+func Strs(ss ...string) Tuple {
+	t := make(Tuple, len(ss))
+	for i, s := range ss {
+		t[i] = Str(s)
+	}
+	return t
+}
+
+// Key returns an injective string encoding of the tuple, suitable as a
+// map key. Two tuples have equal keys iff they are equal values
+// componentwise (and have the same length).
+func (t Tuple) Key() string {
+	buf := make([]byte, 0, 16*len(t))
+	for _, v := range t {
+		buf = v.appendKey(buf)
+	}
+	return string(buf)
+}
+
+// Equal reports componentwise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Cmp compares tuples lexicographically (shorter tuples first on ties).
+func (t Tuple) Cmp(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Cmp(u[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	}
+	return 0
+}
+
+// Clone returns a copy of the tuple that shares no storage with t.
+func (t Tuple) Clone() Tuple {
+	u := make(Tuple, len(t))
+	copy(u, t)
+	return u
+}
+
+// Concat returns the concatenation (t, u) as a fresh tuple.
+func (t Tuple) Concat(u Tuple) Tuple {
+	r := make(Tuple, 0, len(t)+len(u))
+	r = append(r, t...)
+	r = append(r, u...)
+	return r
+}
+
+// Project returns the tuple (t[i1], ..., t[ik]) for 1-based indices.
+// Indices may repeat and appear in any order, exactly as in the
+// projection operator of Definition 1(3).
+func (t Tuple) Project(idx []int) Tuple {
+	r := make(Tuple, len(idx))
+	for p, i := range idx {
+		r[p] = t[i-1]
+	}
+	return r
+}
+
+// Set returns the set of values occurring in the tuple — set(t̄) in the
+// paper's notation (Definition 22) — as a sorted, deduplicated slice.
+func (t Tuple) Set() []Value {
+	vs := make([]Value, len(t))
+	copy(vs, t)
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Less(vs[j]) })
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || !v.Equal(vs[i-1]) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Contains reports whether value v occurs in the tuple.
+func (t Tuple) Contains(v Value) bool {
+	for _, w := range t {
+		if w.Equal(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

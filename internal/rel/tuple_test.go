@@ -1,0 +1,132 @@
+package rel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleConstructors(t *testing.T) {
+	a := Ints(1, 2, 3)
+	if len(a) != 3 || !a[0].Equal(Int(1)) || !a[2].Equal(Int(3)) {
+		t.Errorf("Ints: %v", a)
+	}
+	b := Strs("x", "y")
+	if len(b) != 2 || !b[1].Equal(Str("y")) {
+		t.Errorf("Strs: %v", b)
+	}
+	c := T(Int(1), Str("x"))
+	if len(c) != 2 {
+		t.Errorf("T: %v", c)
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	cases := []struct {
+		a, b  Tuple
+		equal bool
+	}{
+		{Ints(1, 2), Ints(1, 2), true},
+		{Ints(1, 2), Ints(2, 1), false},
+		{Ints(12), Ints(1, 2), false},
+		{T(Str("12")), T(Int(12)), false},
+		{T(Str("a"), Str("b")), T(Str("ab")), false},
+		{T(Str("a"), Str("")), T(Str("a")), false},
+		{Tuple{}, Tuple{}, true},
+	}
+	for _, c := range cases {
+		if (c.a.Key() == c.b.Key()) != c.equal {
+			t.Errorf("Key collision behaviour wrong for %v vs %v", c.a, c.b)
+		}
+	}
+}
+
+func TestTupleEqualAndCmp(t *testing.T) {
+	if !Ints(1, 2).Equal(Ints(1, 2)) {
+		t.Error("equal tuples not Equal")
+	}
+	if Ints(1, 2).Equal(Ints(1, 3)) || Ints(1).Equal(Ints(1, 1)) {
+		t.Error("unequal tuples Equal")
+	}
+	if Ints(1, 2).Cmp(Ints(1, 3)) != -1 {
+		t.Error("Cmp order wrong")
+	}
+	if Ints(1).Cmp(Ints(1, 0)) != -1 {
+		t.Error("shorter tuple should sort first")
+	}
+	if Ints(2).Cmp(Ints(1, 9)) != 1 {
+		t.Error("Cmp first-component order wrong")
+	}
+}
+
+func TestTupleProject(t *testing.T) {
+	a := Ints(10, 20, 30)
+	got := a.Project([]int{3, 1, 1})
+	want := Ints(30, 10, 10)
+	if !got.Equal(want) {
+		t.Errorf("Project = %v, want %v", got, want)
+	}
+}
+
+func TestTupleSet(t *testing.T) {
+	a := Ints(3, 1, 3, 2, 1)
+	set := a.Set()
+	want := Ints(1, 2, 3)
+	if !Tuple(set).Equal(want) {
+		t.Errorf("Set = %v, want %v", set, want)
+	}
+	if len(Tuple{}.Set()) != 0 {
+		t.Error("empty tuple has nonempty set")
+	}
+}
+
+func TestTupleConcatClone(t *testing.T) {
+	a, b := Ints(1), Ints(2, 3)
+	c := a.Concat(b)
+	if !c.Equal(Ints(1, 2, 3)) {
+		t.Errorf("Concat = %v", c)
+	}
+	d := c.Clone()
+	d[0] = Int(99)
+	if !c[0].Equal(Int(1)) {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestTupleContains(t *testing.T) {
+	a := Ints(1, 2)
+	if !a.Contains(Int(2)) || a.Contains(Int(3)) || a.Contains(Str("1")) {
+		t.Error("Contains broken")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	if s := Ints(1, 2).String(); s != "(1, 2)" {
+		t.Errorf("String = %q", s)
+	}
+	if s := (Tuple{}).String(); s != "()" {
+		t.Errorf("empty String = %q", s)
+	}
+}
+
+// Property: Key is injective on random int tuples.
+func TestTupleKeyInjectiveProperty(t *testing.T) {
+	f := func(a, b []int64) bool {
+		ta, tb := Ints(a...), Ints(b...)
+		return (ta.Key() == tb.Key()) == ta.Equal(tb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cmp is antisymmetric and Project preserves membership of
+// values.
+func TestTupleCmpAntisymmetricProperty(t *testing.T) {
+	f := func(a, b []int64) bool {
+		ta, tb := Ints(a...), Ints(b...)
+		return ta.Cmp(tb) == -tb.Cmp(ta)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

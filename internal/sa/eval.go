@@ -1,0 +1,206 @@
+package sa
+
+import (
+	"fmt"
+
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+)
+
+// Trace mirrors ra.Trace for semijoin algebra evaluation. Because
+// every SA operator's output is bounded by the size of one of its
+// inputs, MaxIntermediate never exceeds the database size plus the
+// constant-tagging overhead — the syntactic linearity the paper
+// exploits.
+type Trace struct {
+	Steps           []TraceStep
+	MaxIntermediate int
+	TotalTuples     int
+}
+
+// TraceStep is one subexpression's evaluation record.
+type TraceStep struct {
+	Expr Expr
+	Size int
+}
+
+func (tr *Trace) record(e Expr, size int) {
+	tr.Steps = append(tr.Steps, TraceStep{e, size})
+	if size > tr.MaxIntermediate {
+		tr.MaxIntermediate = size
+	}
+	tr.TotalTuples += size
+}
+
+// Eval evaluates the expression on the database.
+func Eval(e Expr, d *rel.Database) *rel.Relation {
+	res, _ := EvalTraced(e, d)
+	return res
+}
+
+// EvalTraced evaluates the expression and returns the intermediate-size
+// trace.
+func EvalTraced(e Expr, d *rel.Database) (*rel.Relation, *Trace) {
+	tr := &Trace{}
+	res := eval(e, d, tr)
+	return res, tr
+}
+
+func eval(e Expr, d *rel.Database, tr *Trace) *rel.Relation {
+	var out *rel.Relation
+	switch n := e.(type) {
+	case *Rel:
+		r := d.Rel(n.Name)
+		if r.Arity() != n.arity {
+			panic(fmt.Sprintf("sa: relation %s has arity %d in database, expression expects %d", n.Name, r.Arity(), n.arity))
+		}
+		out = r
+	case *Union:
+		out = eval(n.L, d, tr).Union(eval(n.E, d, tr))
+	case *Diff:
+		out = eval(n.L, d, tr).Diff(eval(n.E, d, tr))
+	case *Project:
+		out = eval(n.E, d, tr).Project(n.Cols...)
+	case *Select:
+		in := eval(n.E, d, tr)
+		out = rel.NewRelation(in.Arity())
+		for _, t := range in.Tuples() {
+			if n.Op.Eval(t[n.I-1], t[n.J-1]) {
+				out.Add(t)
+			}
+		}
+	case *SelectConst:
+		in := eval(n.E, d, tr)
+		out = rel.NewRelation(in.Arity())
+		for _, t := range in.Tuples() {
+			if t[n.I-1].Equal(n.C) {
+				out.Add(t)
+			}
+		}
+	case *ConstTag:
+		in := eval(n.E, d, tr)
+		out = rel.NewRelation(in.Arity() + 1)
+		for _, t := range in.Tuples() {
+			out.Add(t.Concat(rel.Tuple{n.C}))
+		}
+	case *Semijoin:
+		out = evalSemijoin(n.Cond, eval(n.L, d, tr), eval(n.E, d, tr), true)
+	case *Antijoin:
+		out = evalSemijoin(n.Cond, eval(n.L, d, tr), eval(n.E, d, tr), false)
+	default:
+		panic(fmt.Sprintf("sa: unknown expression %T", e))
+	}
+	tr.record(e, out.Len())
+	return out
+}
+
+// evalSemijoin computes r1 ⋉θ r2 (keep = true) or r1 ▷θ r2
+// (keep = false). Equality atoms are used to build a hash index on r2;
+// remaining atoms are verified per candidate.
+func evalSemijoin(cond ra.Cond, r1, r2 *rel.Relation, keep bool) *rel.Relation {
+	out := rel.NewRelation(r1.Arity())
+	eqs := cond.EqPairs()
+	residual := make(ra.Cond, 0, len(cond))
+	for _, at := range cond {
+		if at.Op != ra.OpEq {
+			residual = append(residual, at)
+		}
+	}
+	var hasPartner func(a rel.Tuple) bool
+	if len(eqs) == 0 {
+		hasPartner = func(a rel.Tuple) bool {
+			for _, b := range r2.Tuples() {
+				if cond.Holds(a, b) {
+					return true
+				}
+			}
+			return false
+		}
+	} else {
+		index := make(map[string][]rel.Tuple, r2.Len())
+		for _, b := range r2.Tuples() {
+			k := make(rel.Tuple, len(eqs))
+			for i, p := range eqs {
+				k[i] = b[p[1]-1]
+			}
+			index[k.Key()] = append(index[k.Key()], b)
+		}
+		hasPartner = func(a rel.Tuple) bool {
+			k := make(rel.Tuple, len(eqs))
+			for i, p := range eqs {
+				k[i] = a[p[0]-1]
+			}
+			for _, b := range index[k.Key()] {
+				if len(residual) == 0 || residual.Holds(a, b) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	for _, a := range r1.Tuples() {
+		if hasPartner(a) == keep {
+			out.Add(a)
+		}
+	}
+	return out
+}
+
+// ToRA translates the SA expression into an equivalent RA expression.
+// Equi-semijoins use the linear rewriting shown after Theorem 18
+// (project the right side onto the joined columns first); antijoins
+// desugar through difference. Semijoins with non-equality atoms fall
+// back to join-then-project, which need not be linear.
+func ToRA(e Expr) ra.Expr {
+	switch n := e.(type) {
+	case *Rel:
+		return ra.R(n.Name, n.arity)
+	case *Union:
+		return ra.NewUnion(ToRA(n.L), ToRA(n.E))
+	case *Diff:
+		return ra.NewDiff(ToRA(n.L), ToRA(n.E))
+	case *Project:
+		return ra.NewProject(n.Cols, ToRA(n.E))
+	case *Select:
+		return ra.NewSelect(n.I, n.Op, n.J, ToRA(n.E))
+	case *SelectConst:
+		return ra.NewSelectConst(n.I, n.C, ToRA(n.E))
+	case *ConstTag:
+		return ra.NewConstTag(n.C, ToRA(n.E))
+	case *Semijoin:
+		return semijoinToRA(ToRA(n.L), n.Cond, ToRA(n.E))
+	case *Antijoin:
+		l := ToRA(n.L)
+		return ra.NewDiff(l, semijoinToRA(l, n.Cond, ToRA(n.E)))
+	}
+	panic(fmt.Sprintf("sa: unknown expression %T", e))
+}
+
+func semijoinToRA(l ra.Expr, c ra.Cond, r ra.Expr) ra.Expr {
+	if c.IsEquiOnly() && len(c) > 0 {
+		return ra.EquiSemijoinExpr(l, c, r)
+	}
+	// General θ: join then project back to the left columns. This is
+	// correct but may be quadratic, matching the theory (only
+	// equi-semijoins are guaranteed linear in RA).
+	cols := make([]int, l.Arity())
+	for i := range cols {
+		cols[i] = i + 1
+	}
+	return ra.NewProject(cols, ra.NewJoin(l, c, r))
+}
+
+// LousyBarExpr returns the SA= expression of Example 3: the drinkers
+// that visit a "lousy" bar (a bar serving only beers nobody likes):
+//
+//	π1( Visits ⋉2=1 ( π1(Serves) − π1(Serves ⋉2=2 Likes) ) )
+func LousyBarExpr() Expr {
+	visits := R("Visits", 2)
+	serves := R("Serves", 2)
+	likes := R("Likes", 2)
+	lousy := NewDiff(
+		NewProject([]int{1}, serves),
+		NewProject([]int{1}, NewSemijoin(serves, ra.Eq(2, 2), likes)),
+	)
+	return NewProject([]int{1}, NewSemijoin(visits, ra.Eq(2, 1), lousy))
+}

@@ -1,0 +1,191 @@
+// Package setjoin implements the set joins of the paper's
+// introduction: for binary relations R(A,B) and S(C,D), the
+// set-containment join R ⋈_{B⊇D} S returning the pairs (a,c) with
+// {b | R(a,b)} ⊇ {d | S(c,d)}, the set-equality join (= instead of ⊇),
+// and the set-overlap join ("intersection nonempty", which the paper
+// notes boils down to an ordinary equijoin).
+//
+// Algorithms follow the literature the paper cites: block nested-loop
+// with sorted-set verification, signature nested-loop à la Helmer and
+// Moerkotte (VLDB 1997), and an inverted-index probe in the spirit of
+// Ramasamy et al. (VLDB 2000) and Mamoulis (SIGMOD 2003). For the
+// equality join a canonical-encoding hash join achieves the
+// O(n log n) + output bound of the paper's footnote 1; no
+// sub-quadratic algorithm is known for the containment join, matching
+// the paper's remark.
+package setjoin
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"radiv/internal/rel"
+)
+
+// Group is one set-valued row: a key value and its associated element
+// set, sorted.
+type Group struct {
+	Key      rel.Value
+	Elems    []rel.Value // sorted, distinct
+	elemKeys map[string]bool
+	sig      uint64
+}
+
+// Groups converts a binary relation into its set-valued form, one
+// group per distinct first-column value, in first-occurrence order.
+func Groups(r *rel.Relation) []*Group {
+	if r.Arity() != 2 {
+		panic(fmt.Sprintf("setjoin: relation arity %d, want 2", r.Arity()))
+	}
+	index := map[string]*Group{}
+	var order []*Group
+	for _, t := range r.Tuples() {
+		k := rel.Tuple{t[0]}.Key()
+		g := index[k]
+		if g == nil {
+			g = &Group{Key: t[0], elemKeys: map[string]bool{}}
+			index[k] = g
+			order = append(order, g)
+		}
+		ek := rel.Tuple{t[1]}.Key()
+		if !g.elemKeys[ek] {
+			g.elemKeys[ek] = true
+			g.Elems = append(g.Elems, t[1])
+		}
+	}
+	for _, g := range order {
+		sort.Slice(g.Elems, func(i, j int) bool { return g.Elems[i].Less(g.Elems[j]) })
+		g.sig = signature(g.Elems)
+	}
+	return order
+}
+
+// signature builds a 64-bit superset-monotone signature: the bitwise
+// OR of one hash bit per element. sig(X) ⊇bits sig(Y) is necessary
+// for X ⊇ Y, so signatures prune containment candidates.
+func signature(elems []rel.Value) uint64 {
+	var s uint64
+	for _, e := range elems {
+		s |= 1 << (hashValue(e) % 64)
+	}
+	return s
+}
+
+func hashValue(v rel.Value) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range []byte(rel.Tuple{v}.Key()) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// ContainsAll reports Elems(g) ⊇ Elems(h) by merging the sorted
+// element lists; cmp receives the number of comparisons performed.
+func (g *Group) ContainsAll(h *Group, cmp *int) bool {
+	if len(h.Elems) > len(g.Elems) {
+		*cmp++
+		return false
+	}
+	i := 0
+	for _, want := range h.Elems {
+		for i < len(g.Elems) && g.Elems[i].Less(want) {
+			*cmp++
+			i++
+		}
+		*cmp++
+		if i == len(g.Elems) || !g.Elems[i].Equal(want) {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// CanonicalKey returns an injective encoding of the element set, used
+// by the equality joins.
+func (g *Group) CanonicalKey() string {
+	var b strings.Builder
+	for _, e := range g.Elems {
+		b.WriteString(rel.Tuple{e}.Key())
+	}
+	return b.String()
+}
+
+// Stats counts the work performed by a set-join algorithm.
+type Stats struct {
+	// PairsConsidered counts candidate (R-group, S-group) pairs
+	// examined before verification.
+	PairsConsidered int
+	// Verifications counts full subset/equality checks.
+	Verifications int
+	// Comparisons counts element comparisons inside verifications.
+	Comparisons int
+	// Probes counts index/hash lookups.
+	Probes int
+}
+
+// Predicate selects the set predicate of the join.
+type Predicate int
+
+const (
+	// Containment is B ⊇ D.
+	Containment Predicate = iota
+	// Equal is B = D.
+	Equal
+	// Overlap is B ∩ D ≠ ∅.
+	Overlap
+)
+
+// String renders the predicate.
+func (p Predicate) String() string {
+	switch p {
+	case Containment:
+		return "containment"
+	case Equal:
+		return "equality"
+	default:
+		return "overlap"
+	}
+}
+
+// Algorithm is a set-join implementation. Join returns the (a, c)
+// pairs as a binary relation.
+type Algorithm interface {
+	Name() string
+	Predicate() Predicate
+	Join(r, s []*Group) (*rel.Relation, Stats)
+}
+
+// Reference computes any predicate naively; the tests' oracle.
+func Reference(r, s []*Group, p Predicate) *rel.Relation {
+	out := rel.NewRelation(2)
+	var cmp int
+	for _, gr := range r {
+		for _, gs := range s {
+			ok := false
+			switch p {
+			case Containment:
+				ok = gr.ContainsAll(gs, &cmp)
+			case Equal:
+				ok = gr.CanonicalKey() == gs.CanonicalKey()
+			case Overlap:
+				for _, e := range gs.Elems {
+					if gr.elemKeys[rel.Tuple{e}.Key()] {
+						ok = true
+						break
+					}
+				}
+			}
+			if ok {
+				out.Add(rel.Tuple{gr.Key, gs.Key})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+// Package stats provides the small amount of numerics and formatting
+// the experiment harness needs: log–log growth-exponent fitting and
+// aligned text tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// GrowthExponent fits y ≈ c·x^p by least squares on log–log points and
+// returns p. Points with non-positive coordinates are skipped; fewer
+// than two usable points yield 0.
+func GrowthExponent(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: mismatched series lengths")
+	}
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	if n < 2 {
+		return 0
+	}
+	den := float64(n)*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (float64(n)*sxy - sx*sy) / den
+}
+
+// Table accumulates rows and renders them with aligned columns,
+// suitable for the experiment reports.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Ratio returns a/b, or 0 when b is 0, formatted conveniently for
+// speedup columns.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,236 @@
+package translate
+
+import (
+	"fmt"
+
+	"radiv/internal/gf"
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+	"radiv/internal/sa"
+)
+
+// ToSA translates a GF formula φ with constants in C into an SA=
+// expression E_φ over the given variable list (which must cover the
+// formula's free variables): for every database D,
+//
+//	E_φ(D) = { d̄ C-stored in D | D ⊨ φ(d̄) },
+//
+// exactly as in the converse direction of Theorem 8. The constant set
+// is taken from the formula itself (its x = c atoms) united with
+// extra constants supplied by the caller.
+func ToSA(f gf.Formula, vars []gf.Var, schema rel.Schema, extra rel.ConstSet) (sa.Expr, error) {
+	for _, v := range f.FreeVars() {
+		if !varIndex(vars, v) {
+			return nil, fmt.Errorf("translate: variable list %v misses free variable %s", vars, v)
+		}
+	}
+	if err := gf.Validate(f, schema); err != nil {
+		return nil, err
+	}
+	c := gf.Constants(f).Union(extra)
+	tr := &gfToSA{schema: schema, c: c}
+	return tr.translate(f, vars), nil
+}
+
+func varIndex(vars []gf.Var, v gf.Var) bool {
+	for _, w := range vars {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+type gfToSA struct {
+	schema rel.Schema
+	c      rel.ConstSet
+}
+
+// allCStored builds the SA= expression computing every C-stored tuple
+// of arity k: the union over all relations R and all ways of filling
+// the k positions from R's columns or the constants, realized as
+// projections of constant-tagged relations.
+func (t *gfToSA) allCStored(k int) sa.Expr {
+	consts := t.c.Values()
+	var union sa.Expr
+	add := func(e sa.Expr) {
+		if union == nil {
+			union = e
+		} else {
+			union = sa.NewUnion(union, e)
+		}
+	}
+	for _, name := range t.schema.Names() {
+		arity := mustArity(t.schema, name)
+		base := tagConsts(sa.R(name, arity), consts)
+		total := arity + len(consts)
+		if k == 0 {
+			add(sa.NewProject(nil, base))
+			continue
+		}
+		if total == 0 {
+			continue
+		}
+		// Enumerate all functions {1..k} -> {1..total}.
+		cols := make([]int, k)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == k {
+				add(sa.NewProject(append([]int(nil), cols...), base))
+				return
+			}
+			for p := 1; p <= total; p++ {
+				cols[i] = p
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	}
+	if union == nil {
+		// Empty schema: no tuple is ever C-stored. Represent the empty
+		// relation of arity k — there is no relation to project from,
+		// so the schema must be nonempty for a meaningful translation.
+		panic("translate: empty schema")
+	}
+	return union
+}
+
+func tagConsts(e sa.Expr, consts []rel.Value) sa.Expr {
+	out := e
+	for _, c := range consts {
+		out = sa.NewConstTag(c, out)
+	}
+	return out
+}
+
+// translate builds the SA= expression for φ relative to the variable
+// list (arity = len(vars); invariant: vars ⊇ free(φ)).
+func (t *gfToSA) translate(f gf.Formula, vars []gf.Var) sa.Expr {
+	idx := func(v gf.Var) int {
+		for i, w := range vars {
+			if w == v {
+				return i + 1
+			}
+		}
+		panic(fmt.Sprintf("translate: variable %s not in scope %v", v, vars))
+	}
+	all := func() sa.Expr { return t.allCStored(len(vars)) }
+	switch n := f.(type) {
+	case gf.Eq:
+		return sa.NewSelect(idx(n.X), ra.OpEq, idx(n.Y), all())
+	case gf.Lt:
+		return sa.NewSelect(idx(n.X), ra.OpLt, idx(n.Y), all())
+	case gf.EqConst:
+		return sa.NewSelectConst(idx(n.X), n.C, all())
+	case gf.Atom:
+		// Keep the C-stored tuples whose atom projection is in R; the
+		// semijoin condition ties every occurrence of every variable.
+		var cond ra.Cond
+		for pos, v := range n.Args {
+			cond = append(cond, ra.A(idx(v), ra.OpEq, pos+1))
+		}
+		arity := mustArity(t.schema, n.Rel)
+		if len(cond) == 0 {
+			// Nullary atom: R nonempty keeps everything.
+			return semijoinAny(all(), sa.R(n.Rel, arity))
+		}
+		return sa.NewSemijoin(all(), cond, sa.R(n.Rel, arity))
+	case gf.Not:
+		return sa.NewDiff(all(), t.translate(n.F, vars))
+	case gf.And:
+		l := t.translate(n.L, vars)
+		r := t.translate(n.R, vars)
+		return sa.NewDiff(l, sa.NewDiff(l, r))
+	case gf.Or:
+		return sa.NewUnion(t.translate(n.L, vars), t.translate(n.R, vars))
+	case gf.Implies:
+		return t.translate(gf.Or{L: gf.Not{F: n.L}, R: n.R}, vars)
+	case gf.Iff:
+		both := gf.And{L: n.L, R: n.R}
+		neither := gf.And{L: gf.Not{F: n.L}, R: gf.Not{F: n.R}}
+		return t.translate(gf.Or{L: both, R: neither}, vars)
+	case gf.Exists:
+		return t.translateExists(n, vars, idx)
+	}
+	panic(fmt.Sprintf("translate: unknown formula %T", f))
+}
+
+// translateExists handles ∃ȳ(α(x̄,ȳ) ∧ φ): the witnessing tuple lives
+// inside the guard relation, so filter the guard by the recursive
+// translation of the body over the guard's variables, project onto the
+// non-quantified guard variables, and semijoin the C-stored universe
+// against it.
+func (t *gfToSA) translateExists(n gf.Exists, vars []gf.Var, idx func(gf.Var) int) sa.Expr {
+	guard := n.Guard
+	arity := mustArity(t.schema, guard.Rel)
+	// Distinct guard variables in first-occurrence order, with their
+	// first positions.
+	var gvars []gf.Var
+	firstPos := map[gf.Var]int{}
+	for pos, v := range guard.Args {
+		if _, ok := firstPos[v]; !ok {
+			firstPos[v] = pos + 1
+			gvars = append(gvars, v)
+		}
+	}
+	// σ over repeated guard positions.
+	var guarded sa.Expr = sa.R(guard.Rel, arity)
+	for pos, v := range guard.Args {
+		if firstPos[v] != pos+1 {
+			guarded = sa.NewSelect(firstPos[v], ra.OpEq, pos+1, guarded)
+		}
+	}
+	// Filter guard tuples by the body, translated over the guard
+	// variable scope: semijoin guard columns (first positions) against
+	// the body expression's columns.
+	body := t.translate(n.Body, gvars)
+	var cond ra.Cond
+	for i, v := range gvars {
+		cond = append(cond, ra.A(firstPos[v], ra.OpEq, i+1))
+	}
+	var filtered sa.Expr
+	if len(cond) == 0 {
+		filtered = semijoinAny(guarded, body)
+	} else {
+		filtered = sa.NewSemijoin(guarded, cond, body)
+	}
+	// Project onto the free (non-quantified) guard variables.
+	quantified := map[gf.Var]bool{}
+	for _, q := range n.Vars {
+		quantified[q] = true
+	}
+	var freeVars []gf.Var
+	var freeCols []int
+	for _, v := range gvars {
+		if !quantified[v] {
+			freeVars = append(freeVars, v)
+			freeCols = append(freeCols, firstPos[v])
+		}
+	}
+	proj := sa.NewProject(freeCols, filtered)
+	// Keep the C-stored tuples over vars whose free-variable projection
+	// appears in proj.
+	allE := t.allCStored(len(vars))
+	var outer ra.Cond
+	for i, v := range freeVars {
+		outer = append(outer, ra.A(idx(v), ra.OpEq, i+1))
+	}
+	if len(outer) == 0 {
+		return semijoinAny(allE, proj)
+	}
+	return sa.NewSemijoin(allE, outer, proj)
+}
+
+// semijoinAny keeps the left tuples iff the right side is nonempty,
+// using the constant-tag trick to stay within Definition 2's syntax
+// (semijoin conditions need at least one conjunct).
+func semijoinAny(left, right sa.Expr) sa.Expr {
+	lt := sa.NewConstTag(rel.Int(0), left)
+	rt := sa.NewConstTag(rel.Int(0), right)
+	sj := sa.NewSemijoin(lt, ra.Eq(left.Arity()+1, right.Arity()+1), rt)
+	cols := make([]int, left.Arity())
+	for i := range cols {
+		cols[i] = i + 1
+	}
+	return sa.NewProject(cols, sj)
+}

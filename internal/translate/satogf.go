@@ -1,0 +1,353 @@
+// Package translate implements the two directions of Theorem 8: the
+// correspondence between the equality semijoin algebra SA= and the
+// guarded fragment GF.
+//
+// SA= → GF (ToGF): for every SA= expression E of arity k there is a
+// GF formula φ_E(x1..xk) whose satisfying tuples are exactly E(D).
+// The published proof ([14] in the paper) covers the constant-free
+// setting; the with-constants variant is only sketched in the paper
+// ("an easy adaptation"), so ToGF faithfully implements the proven
+// constant-free construction and rejects expressions using constants.
+//
+// GF → SA= (ToSA): for every GF formula φ(x1..xk), with constants in
+// C, an SA= expression E_φ computing the C-stored tuples satisfying φ.
+// This direction is implemented in full, constants included.
+package translate
+
+import (
+	"fmt"
+
+	"radiv/internal/gf"
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+	"radiv/internal/sa"
+)
+
+// freshVars hands out globally unique variable names.
+type freshVars struct{ n int }
+
+func (f *freshVars) next() gf.Var {
+	f.n++
+	return gf.Var(fmt.Sprintf("u%d", f.n))
+}
+
+// ToGF translates a constant-free SA= expression into an equivalent
+// GF formula over the variables x1..xk (k the expression's arity):
+// for every database D over the schema, {d̄ | D ⊨ φ(d̄)} = E(D).
+// It returns an error when the expression uses constants (τc or σi=c)
+// or a non-equality semijoin condition.
+func ToGF(e sa.Expr, schema rel.Schema) (gf.Formula, []gf.Var, error) {
+	if !sa.IsEquiOnly(e) {
+		return nil, nil, fmt.Errorf("translate: ToGF requires an SA= expression (equality-only semijoins)")
+	}
+	if sa.Constants(e).Len() > 0 {
+		return nil, nil, fmt.Errorf("translate: ToGF implements the constant-free Theorem 8; expression uses constants")
+	}
+	vars := make([]gf.Var, e.Arity())
+	for i := range vars {
+		vars[i] = gf.Var(fmt.Sprintf("x%d", i+1))
+	}
+	fv := &freshVars{}
+	f, err := toGF(e, vars, schema, fv)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, vars, nil
+}
+
+func toGF(e sa.Expr, vars []gf.Var, schema rel.Schema, fv *freshVars) (gf.Formula, error) {
+	switch n := e.(type) {
+	case *sa.Rel:
+		return gf.NewAtom(n.Name, vars...), nil
+	case *sa.Union:
+		l, err := toGF(n.L, vars, schema, fv)
+		if err != nil {
+			return nil, err
+		}
+		r, err := toGF(n.E, vars, schema, fv)
+		if err != nil {
+			return nil, err
+		}
+		return gf.Or{L: l, R: r}, nil
+	case *sa.Diff:
+		l, err := toGF(n.L, vars, schema, fv)
+		if err != nil {
+			return nil, err
+		}
+		r, err := toGF(n.E, vars, schema, fv)
+		if err != nil {
+			return nil, err
+		}
+		return gf.And{L: l, R: gf.Not{F: r}}, nil
+	case *sa.Select:
+		inner, err := toGF(n.E, vars, schema, fv)
+		if err != nil {
+			return nil, err
+		}
+		x, y := vars[n.I-1], vars[n.J-1]
+		var atom gf.Formula
+		switch n.Op {
+		case ra.OpEq:
+			atom = gf.Eq{X: x, Y: y}
+		case ra.OpLt:
+			atom = gf.Lt{X: x, Y: y}
+		case ra.OpGt:
+			atom = gf.Lt{X: y, Y: x}
+		default: // OpNe
+			atom = gf.Not{F: gf.Eq{X: x, Y: y}}
+		}
+		return gf.And{L: inner, R: atom}, nil
+	case *sa.Project:
+		return projectToGF(n, vars, schema, fv)
+	case *sa.Semijoin:
+		return semijoinToGF(n.L, n.Cond, n.E, vars, schema, fv, false)
+	case *sa.Antijoin:
+		return semijoinToGF(n.L, n.Cond, n.E, vars, schema, fv, true)
+	case *sa.SelectConst, *sa.ConstTag:
+		return nil, fmt.Errorf("translate: constants not supported in ToGF")
+	}
+	return nil, fmt.Errorf("translate: unknown expression %T", e)
+}
+
+// projectToGF handles π_{cols}(E): the source columns are existentially
+// quantified away using the guarded-existential closure (the source
+// tuple is always stored in a single relation tuple, so the closure is
+// a disjunction over all relation guards).
+func projectToGF(p *sa.Project, vars []gf.Var, schema rel.Schema, fv *freshVars) (gf.Formula, error) {
+	srcArity := p.E.Arity()
+	srcVars := make([]gf.Var, srcArity)
+	var outerEqs []gf.Formula
+	kept := map[int]bool{}
+	for outIdx, col := range p.Cols {
+		if srcVars[col-1] == "" {
+			srcVars[col-1] = vars[outIdx]
+			kept[col-1] = true
+		} else {
+			// Repeated source column: the two output variables must be
+			// equal; keep the first as the source variable.
+			outerEqs = append(outerEqs, gf.Eq{X: vars[outIdx], Y: srcVars[col-1]})
+		}
+	}
+	var keep, drop []gf.Var
+	for i := range srcVars {
+		if srcVars[i] == "" {
+			srcVars[i] = fv.next()
+			drop = append(drop, srcVars[i])
+		} else {
+			keep = append(keep, srcVars[i])
+		}
+	}
+	body, err := toGF(p.E, srcVars, schema, fv)
+	if err != nil {
+		return nil, err
+	}
+	f := guardedExists(keep, drop, body, schema, fv)
+	for _, eq := range outerEqs {
+		f = gf.And{L: f, R: eq}
+	}
+	return f, nil
+}
+
+// semijoinToGF handles E1 ⋉θ E2 (and the antijoin when negate is
+// set): φ_E1(vars) ∧ [¬] gexists over the right-hand tuple, with the
+// joined right columns identified with the corresponding left
+// variables.
+func semijoinToGF(left sa.Expr, cond ra.Cond, right sa.Expr, vars []gf.Var, schema rel.Schema, fv *freshVars, negate bool) (gf.Formula, error) {
+	lf, err := toGF(left, vars, schema, fv)
+	if err != nil {
+		return nil, err
+	}
+	rArity := right.Arity()
+	rVars := make([]gf.Var, rArity)
+	var extraEqs []gf.Formula
+	keepSet := map[gf.Var]bool{}
+	for _, p := range cond.EqPairs() {
+		lv := vars[p[0]-1]
+		if rVars[p[1]-1] == "" {
+			rVars[p[1]-1] = lv
+			keepSet[lv] = true
+		} else if rVars[p[1]-1] != lv {
+			// Two left columns tied to the same right column: they must
+			// be equal to each other.
+			extraEqs = append(extraEqs, gf.Eq{X: lv, Y: rVars[p[1]-1]})
+		}
+	}
+	var keep, drop []gf.Var
+	seen := map[gf.Var]bool{}
+	for i := range rVars {
+		if rVars[i] == "" {
+			rVars[i] = fv.next()
+			drop = append(drop, rVars[i])
+		} else if !seen[rVars[i]] {
+			keep = append(keep, rVars[i])
+		}
+		seen[rVars[i]] = true
+	}
+	rbody, err := toGF(right, rVars, schema, fv)
+	if err != nil {
+		return nil, err
+	}
+	ex := guardedExists(keep, drop, rbody, schema, fv)
+	if negate {
+		ex = gf.Not{F: ex}
+	}
+	f := gf.And{L: lf, R: ex}
+	for _, eq := range extraEqs {
+		f = gf.And{L: f, R: eq}
+	}
+	return f, nil
+}
+
+// guardedExists builds the guarded-existential closure
+// "∃ drop: body", valid when every satisfying assignment of body
+// stores all of keep ∪ drop inside a single relation tuple (true for
+// SA= subresults in the constant-free setting). It is the disjunction,
+// over every relation R and every mapping h of keep ∪ drop into R's
+// positions, of ∃(drop ∪ fresh) (R(args) ∧ body′), where body′
+// substitutes away variables sharing a position and keep-keep
+// identifications surface as equalities outside the quantifier.
+func guardedExists(keep, drop []gf.Var, body gf.Formula, schema rel.Schema, fv *freshVars) gf.Formula {
+	if len(drop) == 0 {
+		return body
+	}
+	all := append(append([]gf.Var{}, keep...), drop...)
+	isKeep := map[gf.Var]bool{}
+	for _, v := range keep {
+		isKeep[v] = true
+	}
+	var disjuncts []gf.Formula
+	for _, relName := range schema.Names() {
+		arity := mustArity(schema, relName)
+		if arity == 0 {
+			continue
+		}
+		h := make([]int, len(all)) // var index -> position 0..arity-1
+		var rec func(i int)
+		rec = func(i int) {
+			if i < len(all) {
+				for p := 0; p < arity; p++ {
+					h[i] = p
+					rec(i + 1)
+				}
+				return
+			}
+			disjuncts = append(disjuncts, buildGuardDisjunct(relName, arity, all, isKeep, h, body, fv))
+		}
+		rec(0)
+	}
+	if len(disjuncts) == 0 {
+		// No possible guard: the existential is unsatisfiable. Encode
+		// "false" as x ≠ x on the first keep variable if any, else on a
+		// vacuous guard-free contradiction.
+		if len(keep) > 0 {
+			return gf.Not{F: gf.Eq{X: keep[0], Y: keep[0]}}
+		}
+		return gf.Not{F: gf.Eq{X: drop[0], Y: drop[0]}}
+	}
+	out := disjuncts[0]
+	for _, d := range disjuncts[1:] {
+		out = gf.Or{L: out, R: d}
+	}
+	return out
+}
+
+func buildGuardDisjunct(relName string, arity int, all []gf.Var, isKeep map[gf.Var]bool, h []int, body gf.Formula, fv *freshVars) gf.Formula {
+	// Representative per position: prefer a keep variable.
+	rep := make([]gf.Var, arity)
+	for i, v := range all {
+		p := h[i]
+		if rep[p] == "" || (isKeep[v] && !isKeep[rep[p]]) {
+			rep[p] = v
+		}
+	}
+	// Substitute non-representative variables by their position's
+	// representative; keep-keep identifications become outer equalities.
+	subst := map[gf.Var]gf.Var{}
+	var outerEqs []gf.Formula
+	for i, v := range all {
+		r := rep[h[i]]
+		if r == v {
+			continue
+		}
+		if isKeep[v] {
+			outerEqs = append(outerEqs, gf.Eq{X: v, Y: r})
+		}
+		subst[v] = r
+	}
+	args := make([]gf.Var, arity)
+	var quantified []gf.Var
+	for p := 0; p < arity; p++ {
+		if rep[p] == "" {
+			rep[p] = fv.next()
+			quantified = append(quantified, rep[p])
+		} else if !isKeep[rep[p]] {
+			quantified = append(quantified, rep[p])
+		}
+		args[p] = rep[p]
+	}
+	body2 := substVars(body, subst)
+	var f gf.Formula = gf.NewExists(quantified, gf.NewAtom(relName, args...), body2)
+	for _, eq := range outerEqs {
+		f = gf.And{L: f, R: eq}
+	}
+	return f
+}
+
+// substVars renames free occurrences of variables in a formula. The
+// fresh-variable discipline of the translator guarantees no capture.
+func substVars(f gf.Formula, subst map[gf.Var]gf.Var) gf.Formula {
+	if len(subst) == 0 {
+		return f
+	}
+	s := func(v gf.Var) gf.Var {
+		if w, ok := subst[v]; ok {
+			return w
+		}
+		return v
+	}
+	switch n := f.(type) {
+	case gf.Eq:
+		return gf.Eq{X: s(n.X), Y: s(n.Y)}
+	case gf.Lt:
+		return gf.Lt{X: s(n.X), Y: s(n.Y)}
+	case gf.EqConst:
+		return gf.EqConst{X: s(n.X), C: n.C}
+	case gf.Atom:
+		args := make([]gf.Var, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = s(a)
+		}
+		return gf.Atom{Rel: n.Rel, Args: args}
+	case gf.Not:
+		return gf.Not{F: substVars(n.F, subst)}
+	case gf.And:
+		return gf.And{L: substVars(n.L, subst), R: substVars(n.R, subst)}
+	case gf.Or:
+		return gf.Or{L: substVars(n.L, subst), R: substVars(n.R, subst)}
+	case gf.Implies:
+		return gf.Implies{L: substVars(n.L, subst), R: substVars(n.R, subst)}
+	case gf.Iff:
+		return gf.Iff{L: substVars(n.L, subst), R: substVars(n.R, subst)}
+	case gf.Exists:
+		// Quantified variables are globally fresh, so they never occur
+		// in subst; substitute in guard and body directly.
+		inner := make(map[gf.Var]gf.Var, len(subst))
+		for k, v := range subst {
+			inner[k] = v
+		}
+		for _, q := range n.Vars {
+			delete(inner, q)
+		}
+		guard := substVars(n.Guard, inner).(gf.Atom)
+		return gf.Exists{Vars: n.Vars, Guard: guard, Body: substVars(n.Body, inner)}
+	}
+	panic(fmt.Sprintf("translate: unknown formula %T", f))
+}
+
+func mustArity(s rel.Schema, name string) int {
+	a, ok := s.Arity(name)
+	if !ok {
+		panic(fmt.Sprintf("translate: relation %q not in schema", name))
+	}
+	return a
+}

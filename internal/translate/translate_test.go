@@ -1,0 +1,251 @@
+package translate
+
+import (
+	"math/rand"
+	"testing"
+
+	"radiv/internal/gf"
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+	"radiv/internal/sa"
+)
+
+func beerSchema() rel.Schema {
+	return rel.NewSchema(map[string]int{"Likes": 2, "Serves": 2, "Visits": 2})
+}
+
+func randomBeerDB(rng *rand.Rand, n, dom int) *rel.Database {
+	d := rel.NewDatabase(beerSchema())
+	for i := 0; i < n; i++ {
+		d.AddInts("Likes", int64(rng.Intn(dom)), int64(rng.Intn(dom)))
+		d.AddInts("Serves", int64(rng.Intn(dom)), int64(rng.Intn(dom)))
+		d.AddInts("Visits", int64(rng.Intn(dom)), int64(rng.Intn(dom)))
+	}
+	return d
+}
+
+// saCorpus is a family of constant-free SA= expressions exercising
+// every operator the ToGF translation handles.
+func saCorpus() []sa.Expr {
+	likes := func() sa.Expr { return sa.R("Likes", 2) }
+	serves := func() sa.Expr { return sa.R("Serves", 2) }
+	visits := func() sa.Expr { return sa.R("Visits", 2) }
+	return []sa.Expr{
+		likes(),
+		sa.NewUnion(likes(), serves()),
+		sa.NewDiff(visits(), serves()),
+		sa.NewProject([]int{2}, likes()),
+		sa.NewProject([]int{2, 1}, likes()),
+		sa.NewProject([]int{1, 1}, serves()),
+		sa.NewSelect(1, ra.OpEq, 2, likes()),
+		sa.NewSelect(1, ra.OpLt, 2, likes()),
+		sa.NewSelect(2, ra.OpGt, 1, visits()),
+		sa.NewSelect(1, ra.OpNe, 2, serves()),
+		sa.NewSemijoin(visits(), ra.Eq(2, 1), serves()),
+		sa.NewAntijoin(likes(), ra.Eq(2, 2), serves()),
+		sa.NewSemijoin(visits(), ra.EqAll([2]int{1, 1}, [2]int{2, 2}), likes()),
+		// Same left column tied to both right columns.
+		sa.NewSemijoin(visits(), ra.EqAll([2]int{2, 1}, [2]int{2, 2}), serves()),
+		sa.LousyBarExpr(),
+		sa.NewProject([]int{1}, sa.NewSemijoin(visits(), ra.Eq(2, 1), sa.NewProject([]int{1}, serves()))),
+	}
+}
+
+// TestTheorem8ForwardDifferential: for every corpus expression E and
+// random database D, the satisfying tuples of φ_E are exactly E(D).
+func TestTheorem8ForwardDifferential(t *testing.T) {
+	schema := beerSchema()
+	rng := rand.New(rand.NewSource(8))
+	for i, e := range saCorpus() {
+		f, vars, err := ToGF(e, schema)
+		if err != nil {
+			t.Fatalf("expr %d (%s): %v", i, e, err)
+		}
+		if err := gf.Validate(f, schema); err != nil {
+			t.Fatalf("expr %d: translated formula not valid GF: %v\nformula: %s", i, err, f)
+		}
+		for trial := 0; trial < 6; trial++ {
+			d := randomBeerDB(rng, 2+rng.Intn(5), 4)
+			want := sa.Eval(e, d)
+			got := gf.Answers(f, d, rel.Consts(), vars)
+			if !want.Equal(got) {
+				t.Fatalf("expr %d (%s), trial %d:\nSA: %vGF: %vDB:\n%s\nformula: %s",
+					i, e, trial, want, got, d, f)
+			}
+		}
+	}
+}
+
+// TestTheorem8ForwardRejectsConstants: the implemented forward
+// direction is the proven constant-free construction.
+func TestTheorem8ForwardRejectsConstants(t *testing.T) {
+	schema := beerSchema()
+	if _, _, err := ToGF(sa.NewSelectConst(1, rel.Int(3), sa.R("Likes", 2)), schema); err == nil {
+		t.Error("σ1=c should be rejected")
+	}
+	if _, _, err := ToGF(sa.NewConstTag(rel.Int(3), sa.R("Likes", 2)), schema); err == nil {
+		t.Error("τc should be rejected")
+	}
+	nonEqui := sa.NewSemijoin(sa.R("Likes", 2), ra.Lt(1, 1), sa.R("Serves", 2))
+	if _, _, err := ToGF(nonEqui, schema); err == nil {
+		t.Error("non-equality semijoin should be rejected")
+	}
+}
+
+// gfCorpus is a family of GF formulas (with and without constants)
+// exercising the ToSA translation. Each entry lists the formula and
+// the variable list to translate over.
+func gfCorpus() []struct {
+	f    gf.Formula
+	vars []gf.Var
+} {
+	x, y := gf.Var("x"), gf.Var("y")
+	return []struct {
+		f    gf.Formula
+		vars []gf.Var
+	}{
+		{gf.NewAtom("Likes", x, y), []gf.Var{x, y}},
+		{gf.NewAtom("Likes", x, x), []gf.Var{x}},
+		{gf.Eq{X: x, Y: y}, []gf.Var{x, y}},
+		{gf.Lt{X: x, Y: y}, []gf.Var{x, y}},
+		{gf.EqConst{X: x, C: rel.Int(2)}, []gf.Var{x}},
+		{gf.Not{F: gf.NewAtom("Serves", x, y)}, []gf.Var{x, y}},
+		{gf.And{L: gf.NewAtom("Visits", x, y), R: gf.Not{F: gf.NewAtom("Serves", x, y)}}, []gf.Var{x, y}},
+		{gf.Or{L: gf.NewAtom("Likes", x, y), R: gf.NewAtom("Serves", x, y)}, []gf.Var{x, y}},
+		{gf.Implies{L: gf.NewAtom("Likes", x, y), R: gf.NewAtom("Serves", x, y)}, []gf.Var{x, y}},
+		{gf.Iff{L: gf.NewAtom("Likes", x, y), R: gf.NewAtom("Serves", y, x)}, []gf.Var{x, y}},
+		{gf.NewExists([]gf.Var{y}, gf.NewAtom("Visits", x, y), gf.Eq{X: y, Y: y}), []gf.Var{x}},
+		{gf.NewExists([]gf.Var{y}, gf.NewAtom("Visits", x, y), gf.Lt{X: x, Y: y}), []gf.Var{x}},
+		{gf.NewExists([]gf.Var{y}, gf.NewAtom("Visits", y, y), gf.Eq{X: y, Y: y}), nil},
+		{gf.LousyBarFormula(), []gf.Var{"x"}},
+		// Constant inside a guarded body.
+		{gf.NewExists([]gf.Var{y}, gf.NewAtom("Serves", x, y), gf.EqConst{X: y, C: rel.Int(1)}), []gf.Var{x}},
+	}
+}
+
+// TestTheorem8ConverseDifferential: E_φ computes exactly the C-stored
+// satisfying tuples.
+func TestTheorem8ConverseDifferential(t *testing.T) {
+	schema := beerSchema()
+	rng := rand.New(rand.NewSource(14))
+	for i, tc := range gfCorpus() {
+		e, err := ToSA(tc.f, tc.vars, schema, rel.Consts())
+		if err != nil {
+			t.Fatalf("formula %d (%s): %v", i, tc.f, err)
+		}
+		if !sa.IsEquiOnly(e) {
+			t.Errorf("formula %d: translation not SA=", i)
+		}
+		c := gf.Constants(tc.f)
+		for trial := 0; trial < 5; trial++ {
+			d := randomBeerDB(rng, 2+rng.Intn(4), 4)
+			want := gf.Answers(tc.f, d, c, tc.vars)
+			got := sa.Eval(e, d)
+			if !want.Equal(got) {
+				t.Fatalf("formula %d (%s), trial %d:\nGF: %vSA: %vDB:\n%s",
+					i, tc.f, trial, want, got, d)
+			}
+		}
+	}
+}
+
+// TestTheorem8RoundTrip: SA= → GF → SA= preserves the query on
+// C-stored tuples.
+func TestTheorem8RoundTrip(t *testing.T) {
+	schema := beerSchema()
+	rng := rand.New(rand.NewSource(21))
+	exprs := []sa.Expr{
+		sa.LousyBarExpr(),
+		sa.NewSemijoin(sa.R("Visits", 2), ra.Eq(2, 1), sa.R("Serves", 2)),
+		sa.NewDiff(sa.R("Likes", 2), sa.R("Serves", 2)),
+	}
+	for i, e := range exprs {
+		f, vars, err := ToGF(e, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ToSA(f, vars, schema, rel.Consts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 4; trial++ {
+			d := randomBeerDB(rng, 2+rng.Intn(4), 4)
+			want := sa.Eval(e, d)
+			got := sa.Eval(back, d)
+			if !want.Equal(got) {
+				t.Fatalf("expr %d (%s) trial %d: round trip changed semantics\nwant %vgot %v\n%s",
+					i, e, trial, want, got, d)
+			}
+		}
+	}
+}
+
+// TestToSARejectsUncoveredVars: the variable list must cover the free
+// variables.
+func TestToSARejectsUncoveredVars(t *testing.T) {
+	if _, err := ToSA(gf.NewAtom("Likes", "x", "y"), []gf.Var{"x"}, beerSchema(), rel.Consts()); err == nil {
+		t.Error("missing free variable accepted")
+	}
+	bad := gf.NewExists([]gf.Var{"y"}, gf.NewAtom("Visits", "x", "y"), gf.Eq{X: "z", Y: "z"})
+	if _, err := ToSA(bad, []gf.Var{"x", "z"}, beerSchema(), rel.Consts()); err == nil {
+		t.Error("unguarded formula accepted")
+	}
+}
+
+// TestAnswersNonStoredTuplesExcluded double-checks the C-stored
+// framing: a value pair absent from the database never shows up in
+// either side of the correspondence.
+func TestAnswersNonStoredTuplesExcluded(t *testing.T) {
+	schema := beerSchema()
+	d := rel.NewDatabase(schema)
+	d.AddInts("Likes", 1, 2)
+	e, err := ToSA(gf.Not{F: gf.NewAtom("Likes", "x", "y")}, []gf.Var{"x", "y"}, schema, rel.Consts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sa.Eval(e, d)
+	// ¬Likes over C-stored pairs: (2,1), (1,1), (2,2) qualify; (1,2)
+	// does not; (3,3) is not stored at all.
+	if got.Contains(rel.Ints(1, 2)) {
+		t.Error("(1,2) satisfies Likes, must be excluded")
+	}
+	if !got.Contains(rel.Ints(2, 1)) {
+		t.Error("(2,1) is stored and satisfies ¬Likes")
+	}
+	if got.Contains(rel.Ints(3, 3)) {
+		t.Error("(3,3) is not C-stored")
+	}
+}
+
+// TestExample3Example7Agree ties Examples 3 and 7 together: the SA=
+// lousy-bar expression and the GF lousy-bar formula agree on every
+// database in which each visited bar serves at least one beer.
+//
+// (On databases with bars that serve nothing the two of the paper's
+// renderings genuinely differ: the GF formula of Example 7 counts such
+// bars as vacuously lousy, while the SA= expression of Example 3
+// requires the bar to occur in π1(Serves). The paper treats them as
+// the same query; the discrepancy only shows on "bars out of thin
+// air", which the generator below avoids.)
+func TestExample3Example7Agree(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	eSA := sa.LousyBarExpr()
+	fGF := gf.LousyBarFormula()
+	for trial := 0; trial < 10; trial++ {
+		d := rel.NewDatabase(beerSchema())
+		n, dom := 2+rng.Intn(6), 5
+		for i := 0; i < dom; i++ {
+			// Every bar serves at least one beer.
+			d.AddInts("Serves", int64(i), int64(rng.Intn(dom)))
+		}
+		for i := 0; i < n; i++ {
+			d.AddInts("Likes", int64(rng.Intn(dom)), int64(rng.Intn(dom)))
+			d.AddInts("Visits", int64(rng.Intn(dom)), int64(rng.Intn(dom)))
+		}
+		fromSA := sa.Eval(eSA, d)
+		fromGF := gf.Answers(fGF, d, rel.Consts(), []gf.Var{"x"})
+		if !fromSA.Equal(fromGF) {
+			t.Fatalf("trial %d: Example 3 ≠ Example 7\nSA: %vGF: %v\n%s", trial, fromSA, fromGF, d)
+		}
+	}
+}

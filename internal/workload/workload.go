@@ -1,0 +1,207 @@
+// Package workload generates synthetic division and set-join inputs
+// for the benchmark harness. All generators are deterministic given a
+// seed, and their parameters mirror the knobs used in the experimental
+// literature the paper cites (Graefe's division study, the
+// Helmer–Moerkotte and Ramasamy et al. set-join studies): number of
+// groups, set-size distribution, element domain size, and the fraction
+// of groups constructed to satisfy the join predicate.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"radiv/internal/rel"
+)
+
+// SizeDist selects a set-size distribution.
+type SizeDist int
+
+const (
+	// Fixed gives every group exactly MeanSize elements.
+	Fixed SizeDist = iota
+	// Uniform draws sizes uniformly from [1, 2·MeanSize-1].
+	Uniform
+	// Zipf draws sizes from a Zipf distribution with the configured
+	// mean as scale (skewed toward small sets, a long tail of large
+	// ones).
+	Zipf
+)
+
+// String renders the distribution name.
+func (s SizeDist) String() string {
+	switch s {
+	case Fixed:
+		return "fixed"
+	case Uniform:
+		return "uniform"
+	default:
+		return "zipf"
+	}
+}
+
+// Division describes a division workload R(A,B) ÷ S(B).
+type Division struct {
+	// Groups is the number of distinct A values.
+	Groups int
+	// GroupSize is the mean number of B's per A.
+	GroupSize int
+	// Dist is the group-size distribution.
+	Dist SizeDist
+	// DivisorSize is |S|.
+	DivisorSize int
+	// MatchFraction is the fraction of groups constructed to contain
+	// S (the division's selectivity knob).
+	MatchFraction float64
+	// Domain is the size of the B value domain for the non-divisor
+	// elements.
+	Domain int
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+// Generate materializes the dividend and divisor.
+func (w Division) Generate() (*rel.Relation, *rel.Relation) {
+	if w.Domain <= 0 {
+		w.Domain = 4 * (w.GroupSize + w.DivisorSize + 1)
+	}
+	rng := rand.New(rand.NewSource(w.Seed))
+	s := rel.NewRelation(1)
+	divisor := make([]rel.Value, 0, w.DivisorSize)
+	for len(divisor) < w.DivisorSize {
+		v := rel.Int(int64(1_000_000 + len(divisor))) // disjoint from Domain
+		divisor = append(divisor, v)
+		s.Add(rel.Tuple{v})
+	}
+	r := rel.NewRelation(2)
+	for g := 0; g < w.Groups; g++ {
+		a := rel.Int(int64(g))
+		size := drawSize(rng, w.Dist, w.GroupSize)
+		match := rng.Float64() < w.MatchFraction
+		if match {
+			for _, v := range divisor {
+				r.Add(rel.Tuple{a, v})
+			}
+		} else if len(divisor) > 0 && size > 0 {
+			// Include all but one divisor element so near-misses
+			// exercise the verification paths.
+			for _, v := range divisor[:len(divisor)-1] {
+				r.Add(rel.Tuple{a, v})
+			}
+		}
+		for i := 0; i < size; i++ {
+			r.Add(rel.Tuple{a, rel.Int(int64(rng.Intn(w.Domain)))})
+		}
+	}
+	return r, s
+}
+
+// Database wraps Generate into a database over {R/2, S/1}.
+func (w Division) Database() *rel.Database {
+	r, s := w.Generate()
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 2, "S": 1}))
+	for _, t := range r.Tuples() {
+		d.Add("R", t)
+	}
+	for _, t := range s.Tuples() {
+		d.Add("S", t)
+	}
+	return d
+}
+
+// String summarizes the workload parameters.
+func (w Division) String() string {
+	return fmt.Sprintf("division(groups=%d size=%d dist=%s |S|=%d match=%.2f)",
+		w.Groups, w.GroupSize, w.Dist, w.DivisorSize, w.MatchFraction)
+}
+
+// SetJoin describes a set-join workload between two set-valued
+// relations.
+type SetJoin struct {
+	// RGroups and SGroups are the numbers of groups on each side.
+	RGroups, SGroups int
+	// MeanSize is the mean element-set size.
+	MeanSize int
+	// Dist is the set-size distribution.
+	Dist SizeDist
+	// Domain is the element domain size; smaller domains make
+	// containment more likely.
+	Domain int
+	// ContainFraction is the fraction of S-groups generated as subsets
+	// of some R-group (guaranteeing containment matches).
+	ContainFraction float64
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+// Generate materializes the two binary relations.
+func (w SetJoin) Generate() (*rel.Relation, *rel.Relation) {
+	if w.Domain <= 0 {
+		w.Domain = 10 * w.MeanSize
+	}
+	rng := rand.New(rand.NewSource(w.Seed))
+	r := rel.NewRelation(2)
+	rSets := make([][]int64, w.RGroups)
+	for g := 0; g < w.RGroups; g++ {
+		size := drawSize(rng, w.Dist, w.MeanSize)
+		for i := 0; i < size; i++ {
+			v := int64(rng.Intn(w.Domain))
+			rSets[g] = append(rSets[g], v)
+			r.Add(rel.Ints(int64(g), v))
+		}
+	}
+	s := rel.NewRelation(2)
+	for g := 0; g < w.SGroups; g++ {
+		key := int64(g)
+		if rng.Float64() < w.ContainFraction && w.RGroups > 0 {
+			// Subset of a random R-group.
+			src := rSets[rng.Intn(w.RGroups)]
+			if len(src) > 0 {
+				k := 1 + rng.Intn(len(src))
+				for i := 0; i < k; i++ {
+					s.Add(rel.Ints(key, src[rng.Intn(len(src))]))
+				}
+				continue
+			}
+		}
+		size := drawSize(rng, w.Dist, w.MeanSize)
+		for i := 0; i < size; i++ {
+			s.Add(rel.Ints(key, int64(rng.Intn(w.Domain))))
+		}
+	}
+	return r, s
+}
+
+// String summarizes the workload parameters.
+func (w SetJoin) String() string {
+	return fmt.Sprintf("setjoin(R=%d S=%d size=%d dist=%s dom=%d contain=%.2f)",
+		w.RGroups, w.SGroups, w.MeanSize, w.Dist, w.Domain, w.ContainFraction)
+}
+
+func drawSize(rng *rand.Rand, dist SizeDist, mean int) int {
+	if mean <= 0 {
+		return 0
+	}
+	switch dist {
+	case Fixed:
+		return mean
+	case Uniform:
+		return 1 + rng.Intn(2*mean-1)
+	default:
+		z := rand.NewZipf(rng, 1.5, 1, uint64(8*mean))
+		return 1 + int(z.Uint64())
+	}
+}
+
+// BeerDatabase generates a random instance of the paper's beer-drinker
+// schema (Example 3), used by the SA/GF differential experiments.
+func BeerDatabase(seed int64, tuples, domain int) *rel.Database {
+	rng := rand.New(rand.NewSource(seed))
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"Likes": 2, "Serves": 2, "Visits": 2}))
+	for i := 0; i < tuples; i++ {
+		d.AddInts("Likes", int64(rng.Intn(domain)), int64(rng.Intn(domain)))
+		d.AddInts("Serves", int64(rng.Intn(domain)), int64(rng.Intn(domain)))
+		d.AddInts("Visits", int64(rng.Intn(domain)), int64(rng.Intn(domain)))
+	}
+	return d
+}

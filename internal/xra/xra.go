@@ -1,0 +1,303 @@
+// Package xra implements the "more powerful relational algebra" of the
+// paper's Section 5: pure RA extended with a grouping-and-counting
+// operator γ. The paper closes by noting that although division needs
+// quadratic intermediate results in pure RA, the richer algebra
+// expresses containment division by the linear expression
+//
+//	π_A( γ_{A,count(B)}(R ⋈_{B=C} S) ⋈_{count(B)=count(C)} γ_{∅,count(C)}(S) )
+//
+// and equality division by an analogous one. This package provides γ,
+// an instrumented evaluator, and those two expressions, so the
+// experiments can demonstrate the linear escape hatch.
+package xra
+
+import (
+	"fmt"
+	"strings"
+
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+)
+
+// Expr is an extended-algebra expression: pure RA plus γ.
+type Expr interface {
+	Arity() int
+	Children() []Expr
+	String() string
+}
+
+// Wrap lifts a pure RA expression into the extended algebra.
+type Wrap struct{ E ra.Expr }
+
+// Arity implements Expr.
+func (w *Wrap) Arity() int { return w.E.Arity() }
+
+// Children implements Expr.
+func (w *Wrap) Children() []Expr { return nil }
+
+// String implements Expr.
+func (w *Wrap) String() string { return w.E.String() }
+
+// Gamma is γ_{groupCols, count(col)}(E): group the input by the listed
+// columns and append the count of distinct values of CountCol within
+// each group. CountCol = 0 counts tuples (count(*)). The output arity
+// is len(GroupCols)+1 and the count is an integer value.
+type Gamma struct {
+	GroupCols []int
+	CountCol  int
+	E         Expr
+}
+
+// NewGamma builds the grouping operator, validating column indices.
+func NewGamma(groupCols []int, countCol int, e Expr) *Gamma {
+	for _, c := range groupCols {
+		if c < 1 || c > e.Arity() {
+			panic(fmt.Sprintf("xra: group column %d out of range 1..%d", c, e.Arity()))
+		}
+	}
+	if countCol < 0 || countCol > e.Arity() {
+		panic(fmt.Sprintf("xra: count column %d out of range 0..%d", countCol, e.Arity()))
+	}
+	return &Gamma{GroupCols: append([]int(nil), groupCols...), CountCol: countCol, E: e}
+}
+
+// Arity implements Expr.
+func (g *Gamma) Arity() int { return len(g.GroupCols) + 1 }
+
+// Children implements Expr.
+func (g *Gamma) Children() []Expr { return []Expr{g.E} }
+
+// String implements Expr.
+func (g *Gamma) String() string {
+	cols := make([]string, len(g.GroupCols))
+	for i, c := range g.GroupCols {
+		cols[i] = fmt.Sprint(c)
+	}
+	count := "*"
+	if g.CountCol > 0 {
+		count = fmt.Sprint(g.CountCol)
+	}
+	return fmt.Sprintf("gamma[%s;count(%s)](%s)", strings.Join(cols, ","), count, g.E)
+}
+
+// Join is the θ-join of the extended algebra.
+type Join struct {
+	L, E Expr
+	Cond ra.Cond
+}
+
+// NewJoin builds the join, validating the condition.
+func NewJoin(l Expr, c ra.Cond, r Expr) *Join {
+	if err := c.Validate(l.Arity(), r.Arity()); err != nil {
+		panic("xra: " + err.Error())
+	}
+	return &Join{L: l, E: r, Cond: append(ra.Cond(nil), c...)}
+}
+
+// Arity implements Expr.
+func (j *Join) Arity() int { return j.L.Arity() + j.E.Arity() }
+
+// Children implements Expr.
+func (j *Join) Children() []Expr { return []Expr{j.L, j.E} }
+
+// String implements Expr.
+func (j *Join) String() string { return fmt.Sprintf("join[%s](%s, %s)", j.Cond, j.L, j.E) }
+
+// Project is π in the extended algebra.
+type Project struct {
+	Cols []int
+	E    Expr
+}
+
+// NewProject builds the projection.
+func NewProject(cols []int, e Expr) *Project {
+	for _, c := range cols {
+		if c < 1 || c > e.Arity() {
+			panic(fmt.Sprintf("xra: projection index %d out of range 1..%d", c, e.Arity()))
+		}
+	}
+	return &Project{Cols: append([]int(nil), cols...), E: e}
+}
+
+// Arity implements Expr.
+func (p *Project) Arity() int { return len(p.Cols) }
+
+// Children implements Expr.
+func (p *Project) Children() []Expr { return []Expr{p.E} }
+
+// String implements Expr.
+func (p *Project) String() string {
+	cols := make([]string, len(p.Cols))
+	for i, c := range p.Cols {
+		cols[i] = fmt.Sprint(c)
+	}
+	return fmt.Sprintf("project[%s](%s)", strings.Join(cols, ","), p.E)
+}
+
+// Trace mirrors ra.Trace for the extended algebra.
+type Trace struct {
+	Steps           []TraceStep
+	MaxIntermediate int
+	TotalTuples     int
+}
+
+// TraceStep is one evaluation record.
+type TraceStep struct {
+	Expr Expr
+	Size int
+}
+
+func (tr *Trace) record(e Expr, size int) {
+	tr.Steps = append(tr.Steps, TraceStep{e, size})
+	if size > tr.MaxIntermediate {
+		tr.MaxIntermediate = size
+	}
+	tr.TotalTuples += size
+}
+
+// Eval evaluates the expression.
+func Eval(e Expr, d *rel.Database) *rel.Relation {
+	r, _ := EvalTraced(e, d)
+	return r
+}
+
+// EvalTraced evaluates the expression with intermediate-size tracing.
+// Wrapped pure-RA subexpressions contribute their own internal trace.
+func EvalTraced(e Expr, d *rel.Database) (*rel.Relation, *Trace) {
+	tr := &Trace{}
+	res := eval(e, d, tr)
+	return res, tr
+}
+
+func eval(e Expr, d *rel.Database, tr *Trace) *rel.Relation {
+	var out *rel.Relation
+	switch n := e.(type) {
+	case *Wrap:
+		res, inner := ra.EvalTraced(n.E, d)
+		for _, s := range inner.Steps {
+			tr.record(&Wrap{E: s.Expr}, s.Size)
+		}
+		return res // already recorded via inner steps
+	case *Gamma:
+		in := eval(n.E, d, tr)
+		out = evalGamma(n, in)
+	case *Join:
+		l := eval(n.L, d, tr)
+		r := eval(n.E, d, tr)
+		out = evalJoin(n.Cond, l, r)
+	case *Project:
+		out = eval(n.E, d, tr).Project(n.Cols...)
+	default:
+		panic(fmt.Sprintf("xra: unknown expression %T", e))
+	}
+	tr.record(e, out.Len())
+	return out
+}
+
+func evalGamma(g *Gamma, in *rel.Relation) *rel.Relation {
+	type acc struct {
+		rep  rel.Tuple
+		seen map[string]bool
+		n    int
+	}
+	groups := map[string]*acc{}
+	var order []string
+	for _, t := range in.Tuples() {
+		key := t.Project(g.GroupCols)
+		k := key.Key()
+		a := groups[k]
+		if a == nil {
+			a = &acc{rep: key, seen: map[string]bool{}}
+			groups[k] = a
+			order = append(order, k)
+		}
+		if g.CountCol == 0 {
+			a.n++
+			continue
+		}
+		vk := rel.Tuple{t[g.CountCol-1]}.Key()
+		if !a.seen[vk] {
+			a.seen[vk] = true
+			a.n++
+		}
+	}
+	out := rel.NewRelation(len(g.GroupCols) + 1)
+	for _, k := range order {
+		a := groups[k]
+		out.Add(a.rep.Concat(rel.Tuple{rel.Int(int64(a.n))}))
+	}
+	if len(g.GroupCols) == 0 && out.Len() == 0 {
+		// Grand aggregate over an empty input is a single zero row, as
+		// in SQL.
+		out.Add(rel.Tuple{rel.Int(0)})
+	}
+	return out
+}
+
+func evalJoin(cond ra.Cond, l, r *rel.Relation) *rel.Relation {
+	out := rel.NewRelation(l.Arity() + r.Arity())
+	eqs := cond.EqPairs()
+	if len(eqs) == 0 {
+		for _, a := range l.Tuples() {
+			for _, b := range r.Tuples() {
+				if cond.Holds(a, b) {
+					out.Add(a.Concat(b))
+				}
+			}
+		}
+		return out
+	}
+	index := map[string][]rel.Tuple{}
+	key := func(t rel.Tuple, side int) string {
+		k := make(rel.Tuple, len(eqs))
+		for i, p := range eqs {
+			if side == 0 {
+				k[i] = t[p[0]-1]
+			} else {
+				k[i] = t[p[1]-1]
+			}
+		}
+		return k.Key()
+	}
+	for _, b := range r.Tuples() {
+		index[key(b, 1)] = append(index[key(b, 1)], b)
+	}
+	for _, a := range l.Tuples() {
+		for _, b := range index[key(a, 0)] {
+			if cond.Holds(a, b) {
+				out.Add(a.Concat(b))
+			}
+		}
+	}
+	return out
+}
+
+// ContainmentDivision returns Section 5's linear expression for
+// containment division of binary R by unary S:
+//
+//	π_A( γ_{A,count(B)}(R ⋈_{B=C} S) ⋈_{count=count} γ_{∅,count(C)}(S) )
+func ContainmentDivision(rName, sName string) Expr {
+	r := &Wrap{E: ra.R(rName, 2)}
+	s := &Wrap{E: ra.R(sName, 1)}
+	matched := NewJoin(r, ra.Eq(2, 1), s)          // (A, B, C) with B = C
+	perGroup := NewGamma([]int{1}, 2, matched)     // (A, count B)
+	total := NewGamma(nil, 1, s)                   // (count C)
+	joined := NewJoin(perGroup, ra.Eq(2, 1), total) // counts equal
+	return NewProject([]int{1}, joined)
+}
+
+// EqualityDivision returns the analogous linear expression for
+// equality division: the group's matched count must equal |S| and its
+// total count must equal |S| as well.
+func EqualityDivision(rName, sName string) Expr {
+	r := &Wrap{E: ra.R(rName, 2)}
+	s := &Wrap{E: ra.R(sName, 1)}
+	matched := NewJoin(r, ra.Eq(2, 1), s)
+	perGroup := NewGamma([]int{1}, 2, matched) // (A, matched count)
+	totals := NewGamma([]int{1}, 2, r)         // (A, total count)
+	sCount := NewGamma(nil, 1, s)              // (|S|)
+	// (A, matched, A, total) with equal A's and matched = total:
+	both := NewJoin(perGroup, ra.Eq(1, 1).And(ra.A(2, ra.OpEq, 2)), totals)
+	withS := NewJoin(both, ra.Eq(2, 1), sCount) // matched = |S|
+	return NewProject([]int{1}, withS)
+}
