@@ -27,6 +27,10 @@ type experiment struct {
 	Run   func(w io.Writer)
 }
 
+// workers is the -workers flag: the pool size handed to the parallel
+// algorithm variants swept by P26, SJ1 and SJ2 (0 = one per CPU).
+var workers int
+
 func experiments() []experiment {
 	return []experiment{
 		{"F1", "Fig. 1: set-containment join and division on the medical example", runF1},
@@ -207,7 +211,7 @@ func runP26(w io.Writer) {
 	t := stats.NewTable("n", "algorithm", "time", "max memory tuples", "comparisons+probes")
 	for _, n := range []int{200, 400, 800} {
 		r, s := divisionScaling(n)
-		for _, alg := range division.All() {
+		for _, alg := range division.AllWorkers(workers) {
 			start := time.Now()
 			_, st := alg.Divide(r, s, division.Containment)
 			t.AddRow(r.Len()+s.Len(), alg.Name(), time.Since(start).Round(time.Microsecond),
@@ -226,7 +230,7 @@ func runSJ1(w io.Writer) {
 			Domain: 400, ContainFraction: 0.05, Seed: 7}
 		r, s := wl.Generate()
 		gr, gs := setjoin.Groups(r), setjoin.Groups(s)
-		for _, alg := range setjoin.ContainmentAlgorithms() {
+		for _, alg := range setjoin.ContainmentAlgorithmsWorkers(workers) {
 			start := time.Now()
 			res, st := alg.Join(gr, gs)
 			t.AddRow(n, alg.Name(), time.Since(start).Round(time.Microsecond),
@@ -243,7 +247,7 @@ func runSJ2(w io.Writer) {
 			Domain: 12, ContainFraction: 0, Seed: 3}
 		r, s := wl.Generate()
 		gr, gs := setjoin.Groups(r), setjoin.Groups(s)
-		for _, alg := range setjoin.EqualityAlgorithms() {
+		for _, alg := range setjoin.EqualityAlgorithmsWorkers(workers) {
 			start := time.Now()
 			res, st := alg.Join(gr, gs)
 			t.AddRow(n, alg.Name(), time.Since(start).Round(time.Microsecond),

@@ -20,6 +20,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	exp := flag.String("exp", "", "run one experiment by id")
 	all := flag.Bool("all", false, "run every experiment")
+	flag.IntVar(&workers, "workers", 0,
+		"worker count for the parallel algorithm variants in P26/SJ1/SJ2 (0 = one per CPU)")
 	flag.Parse()
 
 	switch {

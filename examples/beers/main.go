@@ -7,6 +7,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"radiv/internal/bisim"
 	"radiv/internal/gf"
@@ -16,49 +18,55 @@ import (
 	"radiv/internal/translate"
 )
 
-func main() {
+func main() { run(os.Stdout) }
+
+// cyclicQuery evaluates the Section 4.1 query "drinkers visiting a bar
+// that serves a beer they like" directly.
+func cyclicQuery(db *rel.Database) *rel.Relation {
+	out := rel.NewRelation(1)
+	serves := db.Rel("Serves").Tuples()
+	for _, v := range db.Rel("Visits").Tuples() {
+		for _, s := range serves {
+			if s[0].Equal(v[1]) && db.Rel("Likes").Contains(rel.Tuple{v[0], s[1]}) {
+				out.Add(rel.Tuple{v[0]})
+			}
+		}
+	}
+	return out
+}
+
+func run(w io.Writer) {
 	d := paperfigs.Example3()
-	fmt.Printf("beer database:\n%s\n", d)
+	fmt.Fprintf(w, "beer database:\n%s\n", d)
 
 	// Example 3: the lousy-bar query in SA=.
 	e := sa.LousyBarExpr()
-	fmt.Printf("SA= expression: %s\n", e)
-	fmt.Printf("drinkers visiting a lousy bar: %s\n", sa.Eval(e, d))
+	fmt.Fprintf(w, "SA= expression: %s\n", e)
+	fmt.Fprintf(w, "drinkers visiting a lousy bar: %s\n", sa.Eval(e, d))
 
 	// Example 7: the same query in the guarded fragment.
 	f := gf.LousyBarFormula()
-	fmt.Printf("GF formula: %s\n", f)
-	fmt.Printf("GF answers: %s\n", gf.Answers(f, d, rel.Consts(), []gf.Var{"x"}))
+	fmt.Fprintf(w, "GF formula: %s\n", f)
+	fmt.Fprintf(w, "GF answers: %s\n", gf.Answers(f, d, rel.Consts(), []gf.Var{"x"}))
 
 	// Theorem 8: translate the SA= expression into GF and back.
 	formula, vars, err := translate.ToGF(e, d.Schema())
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("translated formula answers: %s", gf.Answers(formula, d, rel.Consts(), vars))
+	fmt.Fprintf(w, "translated formula answers: %s", gf.Answers(formula, d, rel.Consts(), vars))
 	back, err := translate.ToSA(f, []gf.Var{"x"}, d.Schema(), rel.Consts())
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("translated-back SA= answers: %s\n", sa.Eval(back, d))
+	fmt.Fprintf(w, "translated-back SA= answers: %s\n", sa.Eval(back, d))
 
 	// Section 4.1: the cyclic query "drinkers visiting a bar that
 	// serves a beer they like" cannot be expressed in SA= — the two
 	// databases of Fig. 6 are bisimilar at alex yet answer differently.
 	a, b := paperfigs.Fig6()
 	ch := bisim.NewChecker(a, b, rel.Consts())
-	fmt.Printf("Fig. 6: (A, alex) ~ (B, alex): %v\n", ch.Bisimilar(rel.Strs("alex"), rel.Strs("alex")))
-	q := func(db *rel.Database) *rel.Relation {
-		out := rel.NewRelation(1)
-		for _, v := range db.Rel("Visits").Tuples() {
-			for _, s := range db.Rel("Serves").Tuples() {
-				if s[0].Equal(v[1]) && db.Rel("Likes").Contains(rel.Tuple{v[0], s[1]}) {
-					out.Add(rel.Tuple{v[0]})
-				}
-			}
-		}
-		return out
-	}
-	fmt.Printf("Q(A) = %sQ(B) = %s", q(a), q(b))
-	fmt.Println("same pointed value, different answers ⇒ Q ∉ SA= ⇒ quadratic in RA (Section 4.1)")
+	fmt.Fprintf(w, "Fig. 6: (A, alex) ~ (B, alex): %v\n", ch.Bisimilar(rel.Strs("alex"), rel.Strs("alex")))
+	fmt.Fprintf(w, "Q(A) = %sQ(B) = %s", cyclicQuery(a), cyclicQuery(b))
+	fmt.Fprintln(w, "same pointed value, different answers ⇒ Q ∉ SA= ⇒ quadratic in RA (Section 4.1)")
 }

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"radiv/internal/paperfigs"
+	"radiv/internal/rel"
+	"radiv/internal/sa"
+)
+
+// The beers example's core path: the lousy-bar query answers {bart} on
+// Example 3, and the Fig. 6 cyclic query distinguishes the two
+// bisimilar databases (1 answer vs none).
+func TestBeersCorePath(t *testing.T) {
+	d := paperfigs.Example3()
+	ans := sa.Eval(sa.LousyBarExpr(), d)
+	if ans.Len() != 1 || !ans.Contains(rel.Strs("bart")) {
+		t.Errorf("lousy-bar answers = %v, want {bart}", ans)
+	}
+	a, b := paperfigs.Fig6()
+	qa, qb := cyclicQuery(a), cyclicQuery(b)
+	if qa.Len() != 1 || !qa.Contains(rel.Strs("alex")) {
+		t.Errorf("Q(A) = %v, want {alex}", qa)
+	}
+	if qb.Len() != 0 {
+		t.Errorf("Q(B) = %v, want empty", qb)
+	}
+}
+
+func TestBeersRuns(t *testing.T) {
+	var b strings.Builder
+	run(&b)
+	out := b.String()
+	for _, want := range []string{
+		"drinkers visiting a lousy bar: (bart)",
+		"(A, alex) ~ (B, alex): true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}

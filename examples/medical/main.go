@@ -8,6 +8,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"radiv/internal/division"
@@ -17,27 +19,29 @@ import (
 	"radiv/internal/workload"
 )
 
-func main() {
+func main() { run(os.Stdout) }
+
+func run(w io.Writer) {
 	d := paperfigs.Fig1()
-	fmt.Printf("Fig. 1 database:\n%s\n", d)
+	fmt.Fprintf(w, "Fig. 1 database:\n%s\n", d)
 
 	person := setjoin.Groups(d.Rel("Person"))
 	disease := setjoin.Groups(d.Rel("Disease"))
-	fmt.Println("set-containment join Person ⋈[⊇] Disease (all algorithms):")
+	fmt.Fprintln(w, "set-containment join Person ⋈[⊇] Disease (all algorithms):")
 	for _, alg := range setjoin.ContainmentAlgorithms() {
 		res, st := alg.Join(person, disease)
-		fmt.Printf("  %-15s %d pairs, %d verifications: %v\n",
+		fmt.Fprintf(w, "  %-18s %d pairs, %d verifications: %v\n",
 			alg.Name(), res.Len(), st.Verifications, res.Sorted())
 	}
 
-	fmt.Println("\ndivision Person ÷ Symptoms (all algorithms):")
+	fmt.Fprintln(w, "\ndivision Person ÷ Symptoms (all algorithms):")
 	for _, alg := range division.All() {
 		res, st := alg.Divide(d.Rel("Person"), d.Rel("Symptoms"), division.Containment)
-		fmt.Printf("  %-12s max memory %3d tuples: %v\n", alg.Name(), st.MaxMemoryTuples, res.Sorted())
+		fmt.Fprintf(w, "  %-13s max memory %3d tuples: %v\n", alg.Name(), st.MaxMemoryTuples, res.Sorted())
 	}
 
 	// Scale the scenario up: a thousand patients, a growing checklist.
-	fmt.Println("\nscaled-up checklist sweep (1000 patients):")
+	fmt.Fprintln(w, "\nscaled-up checklist sweep (1000 patients):")
 	t := stats.NewTable("|checklist|", "algorithm", "time", "qualifying")
 	for _, sz := range []int{2, 8, 32} {
 		wl := workload.Division{
@@ -45,11 +49,15 @@ func main() {
 			DivisorSize: sz, MatchFraction: 0.2, Seed: 1,
 		}
 		r, s := wl.Generate()
-		for _, alg := range []division.Algorithm{division.MergeSort{}, division.Hash{}, division.Aggregate{}} {
+		algs := []division.Algorithm{
+			division.MergeSort{}, division.Hash{}, division.Aggregate{},
+			division.ParallelHash{},
+		}
+		for _, alg := range algs {
 			start := time.Now()
 			res, _ := alg.Divide(r, s, division.Containment)
 			t.AddRow(sz, alg.Name(), time.Since(start).Round(time.Microsecond), res.Len())
 		}
 	}
-	fmt.Print(t)
+	fmt.Fprint(w, t)
 }

@@ -6,6 +6,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"radiv/internal/core"
 	"radiv/internal/paperfigs"
@@ -13,25 +15,27 @@ import (
 	"radiv/internal/stats"
 )
 
-func main() {
+func main() { run(os.Stdout) }
+
+func run(out io.Writer) {
 	d, e := paperfigs.Fig4()
-	fmt.Printf("expression E = E1 ⋈[3=1] E2 where E1 = R ⋉[1=2] T and E2 = S ⋉[2=1] T\n")
-	fmt.Printf("as pure RA: %s\n\n", e)
-	fmt.Printf("database D:\n%s\n", d)
+	fmt.Fprintf(out, "expression E = E1 ⋈[3=1] E2 where E1 = R ⋉[1=2] T and E2 = S ⋉[2=1] T\n")
+	fmt.Fprintf(out, "as pure RA: %s\n\n", e)
+	fmt.Fprintf(out, "database D:\n%s\n", d)
 
 	w := core.FindWitnessAt(e, d)
 	if w == nil {
 		panic("no Lemma 24 witness — should not happen on Fig. 4")
 	}
-	fmt.Printf("witness: %s\n", w)
-	fmt.Printf("E1(D) and E2(D) join on ā=(1,2,3), b̄=(3,4,5); free values {1,2} and {4,5}\n\n")
+	fmt.Fprintf(out, "witness: %s\n", w)
+	fmt.Fprintf(out, "E1(D) and E2(D) join on ā=(1,2,3), b̄=(3,4,5); free values {1,2} and {4,5}\n\n")
 
 	p, err := core.NewPump(w)
 	if err != nil {
 		panic(err)
 	}
 	for n := 1; n <= 3; n++ {
-		fmt.Printf("D%d (canonical labels; ~k suffix = new^(k)):\n%s\n", n, p.Database(n))
+		fmt.Fprintf(out, "D%d (canonical labels; ~k suffix = new^(k)):\n%s\n", n, p.Database(n))
 	}
 
 	t := stats.NewTable("n", "|Dn|", "|E(Dn)|", "n^2", "growth vs |Dn|")
@@ -44,8 +48,8 @@ func main() {
 		t.AddRow(pt.N, pt.DatabaseSize, pt.JoinOutput, pt.N*pt.N, ratio)
 		prev = pt.JoinOutput
 	}
-	fmt.Print(t)
-	fmt.Println("\n|Dn| grows linearly, |E(Dn)| quadratically: the dichotomy's lower half.")
+	fmt.Fprint(out, t)
+	fmt.Fprintln(out, "\n|Dn| grows linearly, |E(Dn)| quadratically: the dichotomy's lower half.")
 
 	// The same machinery applied to the division expression.
 	div := ra.DivisionExpr("R", "S")
@@ -53,5 +57,5 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("\ndivision expression verdict: %s\n", verdict)
+	fmt.Fprintf(out, "\ndivision expression verdict: %s\n", verdict)
 }

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"radiv/internal/core"
+	"radiv/internal/paperfigs"
+)
+
+// The pump's core path: the Fig. 4 witness exists, and the pumped
+// databases grow linearly while the join output grows quadratically.
+func TestPumpCorePath(t *testing.T) {
+	d, e := paperfigs.Fig4()
+	w := core.FindWitnessAt(e, d)
+	if w == nil {
+		t.Fatal("no Lemma 24 witness on Fig. 4")
+	}
+	p, err := core.NewPump(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := p.Measure([]int{4, 16})
+	if len(pts) != 2 {
+		t.Fatalf("Measure returned %d points", len(pts))
+	}
+	// 4× n ⇒ ~16× join output, ~4× database size.
+	joinRatio := float64(pts[1].JoinOutput) / float64(pts[0].JoinOutput)
+	dbRatio := float64(pts[1].DatabaseSize) / float64(pts[0].DatabaseSize)
+	if joinRatio < 8 {
+		t.Errorf("join output ratio %.1f, expected ≈16 (quadratic)", joinRatio)
+	}
+	if dbRatio > 8 {
+		t.Errorf("database size ratio %.1f, expected ≈4 (linear)", dbRatio)
+	}
+}
+
+func TestPumpRuns(t *testing.T) {
+	var b strings.Builder
+	run(&b)
+	if !strings.Contains(b.String(), "division expression verdict: quadratic") {
+		t.Error("output lacks the quadratic verdict")
+	}
+}

@@ -6,6 +6,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"radiv/internal/core"
 	"radiv/internal/division"
@@ -14,9 +16,11 @@ import (
 	"radiv/internal/sa"
 )
 
-func main() {
-	// A database over the schema {R/2, S/1}: R relates students to the
-	// courses they passed, S lists the required courses.
+func main() { run(os.Stdout) }
+
+// database builds the running example: R relates students to the
+// courses they passed, S lists the required courses.
+func database() *rel.Database {
 	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 2, "S": 1}))
 	for _, t := range [][2]int64{
 		{1, 101}, {1, 102}, {1, 103},
@@ -27,25 +31,30 @@ func main() {
 	}
 	d.AddInts("S", 101)
 	d.AddInts("S", 102)
-	fmt.Printf("database (%d tuples):\n%s\n", d.Size(), d)
+	return d
+}
+
+func run(w io.Writer) {
+	d := database()
+	fmt.Fprintf(w, "database (%d tuples):\n%s\n", d.Size(), d)
 
 	// Division in pure relational algebra: who passed all required
 	// courses? The classical expression π1(R) − π1((π1(R)×S) − R).
 	e := ra.DivisionExpr("R", "S")
 	res, trace := ra.EvalTraced(e, d)
-	fmt.Printf("R ÷ S via RA expression: %s", res)
-	fmt.Printf("largest intermediate result: %d tuples (the × is the quadratic culprit)\n\n", trace.MaxIntermediate)
+	fmt.Fprintf(w, "R ÷ S via RA expression: %s", res)
+	fmt.Fprintf(w, "largest intermediate result: %d tuples (the × is the quadratic culprit)\n\n", trace.MaxIntermediate)
 
 	// The same division with a direct algorithm: linear.
 	hash, hashStats := division.Hash{}.Divide(d.Rel("R"), d.Rel("S"), division.Containment)
-	fmt.Printf("R ÷ S via hash division:  %s", hash)
-	fmt.Printf("hash division probes: %d (linear in the input)\n\n", hashStats.Probes)
+	fmt.Fprintf(w, "R ÷ S via hash division:  %s", hash)
+	fmt.Fprintf(w, "hash division probes: %d (linear in the input)\n\n", hashStats.Probes)
 
 	// A semijoin-algebra query: students that passed some required
 	// course. SA= expressions are linear by construction.
 	filter := sa.NewSemijoin(sa.R("R", 2), ra.Eq(2, 1), sa.R("S", 1))
 	some := sa.Eval(sa.NewProject([]int{1}, filter), d)
-	fmt.Printf("students passing ≥1 required course (SA=): %s\n", some)
+	fmt.Fprintf(w, "students passing ≥1 required course (SA=): %s\n", some)
 
 	// The dichotomy analyzer (Theorems 17 and 18): the division
 	// expression is quadratic, the semijoin query is linear.
@@ -53,12 +62,12 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("classification of the division expression: %s\n", verdict)
+	fmt.Fprintf(w, "classification of the division expression: %s\n", verdict)
 
 	linear := ra.EquiSemijoinExpr(ra.R("R", 2), ra.Eq(2, 1), ra.R("S", 1))
 	verdict2, err := core.Classify(linear, nil)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("classification of the semijoin query:      %s\n", verdict2)
+	fmt.Fprintf(w, "classification of the semijoin query:      %s\n", verdict2)
 }

@@ -1,0 +1,3 @@
+module radiv
+
+go 1.22

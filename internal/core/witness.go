@@ -41,12 +41,13 @@ func FindWitnessAt(j *ra.Join, d *rel.Database) *Witness {
 	c := ra.Constants(j)
 	r1 := ra.Eval(j.L, d)
 	r2 := ra.Eval(j.E, d)
+	r2t := r2.Tuples()
 	for _, a := range r1.Tuples() {
 		fa := FreeValues(j, Left, c, a)
 		if len(fa) == 0 {
 			continue
 		}
-		for _, b := range r2.Tuples() {
+		for _, b := range r2t {
 			if !j.Cond.Holds(a, b) {
 				continue
 			}

@@ -75,7 +75,9 @@ func checkInputs(r, s *rel.Relation) {
 }
 
 // Reference computes division by a straightforward group-and-check and
-// is the oracle the tests compare everything against.
+// is the oracle the tests compare everything against. It deliberately
+// stays on the Tuple.Key string path, independent of the interned fast
+// paths it oracles.
 func Reference(r, s *rel.Relation, sem Semantics) *rel.Relation {
 	checkInputs(r, s)
 	groups := make(map[string]map[string]bool)
@@ -123,14 +125,14 @@ func (NestedLoop) Divide(r, s *rel.Relation, sem Semantics) (*rel.Relation, Stat
 	checkInputs(r, s)
 	var st Stats
 	out := rel.NewRelation(1)
+	rt, stp := r.Tuples(), s.Tuples()
 	// Distinct candidates in first-occurrence order.
 	var candidates []rel.Value
-	seen := map[string]bool{}
-	for _, t := range r.Tuples() {
+	seen := rel.NewInterner()
+	for _, t := range rt {
 		st.TuplesRead++
-		k := rel.Tuple{t[0]}.Key()
-		if !seen[k] {
-			seen[k] = true
+		before := seen.Len()
+		if int(seen.Intern(t[0])) == before {
 			candidates = append(candidates, t[0])
 		}
 	}
@@ -138,10 +140,10 @@ func (NestedLoop) Divide(r, s *rel.Relation, sem Semantics) (*rel.Relation, Stat
 	for _, a := range candidates {
 		all := true
 		matched := 0
-		for _, sv := range s.Tuples() {
+		for _, sv := range stp {
 			st.TuplesRead++
 			found := false
-			for _, t := range r.Tuples() {
+			for _, t := range rt {
 				st.Comparisons += 2
 				if t[0].Equal(a) && t[1].Equal(sv[0]) {
 					found = true
@@ -158,7 +160,7 @@ func (NestedLoop) Divide(r, s *rel.Relation, sem Semantics) (*rel.Relation, Stat
 		if all && sem == Equality {
 			// Count the group size to compare with |S|.
 			size := 0
-			for _, t := range r.Tuples() {
+			for _, t := range rt {
 				st.Comparisons++
 				if t[0].Equal(a) {
 					size++
@@ -246,10 +248,29 @@ func sortCost(n int) int {
 	return cost
 }
 
-// Hash is Graefe's hash division: a hash table on the S values gives
-// each divisor a slot index; each candidate group keeps a bitmap of
-// matched slots and qualifies when the bitmap is full (containment) or
-// full with no extra B's (equality). Expected O(|R| + |S|).
+// divGroup is the per-candidate state of hash division: a bitmap over
+// divisor slots plus hit/extra counters, as in Graefe's hash division.
+type divGroup struct {
+	rep    rel.Value
+	seen   []uint64 // bitmap over divisor slots
+	hits   int
+	extras int
+}
+
+func (g *divGroup) mark(slot uint32) {
+	if g.seen[slot/64]&(1<<(slot%64)) == 0 {
+		g.seen[slot/64] |= 1 << (slot % 64)
+		g.hits++
+	}
+}
+
+// Hash is Graefe's hash division on interned value IDs: the divisor
+// dictionary assigns each S value a dense slot (its interned ID), the
+// group dictionary assigns each candidate a dense index, and every
+// probe is an integer map lookup — no key strings are built. Each
+// candidate group keeps a bitmap of matched slots and qualifies when
+// the bitmap is full (containment) or full with no extra B's
+// (equality). Expected O(|R| + |S|).
 type Hash struct{}
 
 // Name implements Algorithm.
@@ -257,6 +278,61 @@ func (Hash) Name() string { return "hash" }
 
 // Divide implements Algorithm.
 func (Hash) Divide(r, s *rel.Relation, sem Semantics) (*rel.Relation, Stats) {
+	checkInputs(r, s)
+	var st Stats
+	slots := rel.NewInterner() // S value -> dense slot
+	for _, t := range s.Tuples() {
+		st.TuplesRead++
+		st.Probes++
+		slots.Intern(t[0])
+	}
+	need := slots.Len()
+	words := (need + 63) / 64
+	gids := rel.NewInterner() // candidate value -> dense group index
+	var groups []*divGroup    // indexed by group ID
+	for _, t := range r.Tuples() {
+		st.TuplesRead++
+		st.Probes++
+		gid := gids.Intern(t[0])
+		if int(gid) == len(groups) {
+			groups = append(groups, &divGroup{rep: t[0], seen: make([]uint64, words)})
+		}
+		g := groups[gid]
+		st.Probes++
+		if slot, ok := slots.ID(t[1]); ok {
+			g.mark(slot)
+		} else {
+			g.extras++
+		}
+	}
+	// Memory: one entry per group and divisor plus the per-group
+	// bitmaps (64 slots per word).
+	st.MaxMemoryTuples = len(groups) + s.Len() + len(groups)*words
+	out := rel.NewRelation(1)
+	for _, g := range groups {
+		if g.hits != need {
+			continue
+		}
+		if sem == Equality && g.extras > 0 {
+			continue
+		}
+		out.Add(rel.Tuple{g.rep})
+	}
+	return out, st
+}
+
+// HashStringKey is the pre-interning hash division, kept as the
+// string-key reference path: every probe builds a Tuple.Key string
+// and hits a map[string]. It computes exactly what Hash computes and
+// exists so benchmarks can measure what interning buys on identical
+// inputs (see BenchmarkEngineDivisionKeyPath).
+type HashStringKey struct{}
+
+// Name implements Algorithm.
+func (HashStringKey) Name() string { return "hash-string" }
+
+// Divide implements Algorithm.
+func (HashStringKey) Divide(r, s *rel.Relation, sem Semantics) (*rel.Relation, Stats) {
 	checkInputs(r, s)
 	var st Stats
 	slot := make(map[string]int, s.Len())
@@ -269,14 +345,8 @@ func (Hash) Divide(r, s *rel.Relation, sem Semantics) (*rel.Relation, Stats) {
 		}
 	}
 	need := len(slot)
-	type group struct {
-		rep    rel.Value
-		seen   []uint64 // bitmap over divisor slots, as in Graefe's hash division
-		hits   int
-		extras int
-	}
 	words := (need + 63) / 64
-	groups := make(map[string]*group)
+	groups := make(map[string]*divGroup)
 	var order []string
 	for _, t := range r.Tuples() {
 		st.TuplesRead++
@@ -284,23 +354,18 @@ func (Hash) Divide(r, s *rel.Relation, sem Semantics) (*rel.Relation, Stats) {
 		st.Probes++
 		g := groups[gk]
 		if g == nil {
-			g = &group{rep: t[0], seen: make([]uint64, words)}
+			g = &divGroup{rep: t[0], seen: make([]uint64, words)}
 			groups[gk] = g
 			order = append(order, gk)
 		}
 		st.Probes++
 		if idx, ok := slot[rel.Tuple{t[1]}.Key()]; ok {
-			if g.seen[idx/64]&(1<<(idx%64)) == 0 {
-				g.seen[idx/64] |= 1 << (idx % 64)
-				g.hits++
-			}
+			g.mark(uint32(idx))
 		} else {
 			g.extras++
 		}
 	}
-	// Memory: one entry per group and divisor plus the per-group
-	// bitmaps (64 slots per word).
-	st.MaxMemoryTuples = len(groups) + s.Len() + len(groups)*((need+63)/64)
+	st.MaxMemoryTuples = len(groups) + s.Len() + len(groups)*words
 	out := rel.NewRelation(1)
 	for _, gk := range order {
 		g := groups[gk]
@@ -328,39 +393,36 @@ func (Aggregate) Name() string { return "aggregate" }
 func (Aggregate) Divide(r, s *rel.Relation, sem Semantics) (*rel.Relation, Stats) {
 	checkInputs(r, s)
 	var st Stats
-	inS := make(map[string]bool, s.Len())
+	inS := rel.NewInterner()
 	for _, t := range s.Tuples() {
 		st.TuplesRead++
 		st.Probes++
-		inS[rel.Tuple{t[0]}.Key()] = true
+		inS.Intern(t[0])
 	}
 	type counts struct {
 		rep     rel.Value
 		matched int
 		total   int
 	}
-	groups := make(map[string]*counts)
-	var order []string
+	gids := rel.NewInterner()
+	var groups []*counts // indexed by group ID
 	for _, t := range r.Tuples() {
 		st.TuplesRead++
-		gk := rel.Tuple{t[0]}.Key()
 		st.Probes++
-		g := groups[gk]
-		if g == nil {
-			g = &counts{rep: t[0]}
-			groups[gk] = g
-			order = append(order, gk)
+		gid := gids.Intern(t[0])
+		if int(gid) == len(groups) {
+			groups = append(groups, &counts{rep: t[0]})
 		}
+		g := groups[gid]
 		g.total++ // relations are sets, so B's are distinct per group
 		st.Probes++
-		if inS[rel.Tuple{t[1]}.Key()] {
+		if _, ok := inS.ID(t[1]); ok {
 			g.matched++
 		}
 	}
 	st.MaxMemoryTuples = len(groups) + s.Len()
 	out := rel.NewRelation(1)
-	for _, gk := range order {
-		g := groups[gk]
+	for _, g := range groups {
 		if g.matched != s.Len() {
 			continue
 		}
@@ -407,9 +469,17 @@ func (ClassicRA) Divide(r, s *rel.Relation, sem Semantics) (*rel.Relation, Stats
 }
 
 // All returns the direct algorithms plus the classical RA expression,
-// in presentation order.
-func All() []Algorithm {
-	return []Algorithm{ClassicRA{}, NestedLoop{}, MergeSort{}, Hash{}, Aggregate{}}
+// in presentation order. Parallel variants use the default worker
+// count (one per CPU); use AllWorkers to pin it.
+func All() []Algorithm { return AllWorkers(0) }
+
+// AllWorkers is All with an explicit worker count for the parallel
+// variants (<= 0 means one worker per CPU).
+func AllWorkers(workers int) []Algorithm {
+	return []Algorithm{
+		ClassicRA{}, NestedLoop{}, MergeSort{}, Hash{}, HashStringKey{}, Aggregate{},
+		ParallelHash{Workers: workers},
+	}
 }
 
 // Divisors extracts the divisor set from a unary relation as sorted

@@ -1,0 +1,106 @@
+package division
+
+import (
+	"radiv/internal/engine"
+	"radiv/internal/rel"
+)
+
+// ParallelHash is hash division over the partitioned parallel
+// executor of internal/engine: R is sharded by the interned ID of the
+// group key, so every candidate group lives in exactly one partition
+// and partitions divide independently against the shared divisor
+// dictionary. Per-partition results concatenate in partition order,
+// which makes the output deterministic for a fixed worker count and
+// set-equal to the sequential Hash result for every worker count.
+type ParallelHash struct {
+	// Workers is the goroutine pool size; values <= 0 mean one worker
+	// per CPU.
+	Workers int
+}
+
+// Name implements Algorithm.
+func (ParallelHash) Name() string { return "parallel-hash" }
+
+// Divide implements Algorithm.
+func (p ParallelHash) Divide(r, s *rel.Relation, sem Semantics) (*rel.Relation, Stats) {
+	checkInputs(r, s)
+	ex := engine.Executor{Workers: p.Workers}
+	if ex.WorkerCount() <= 1 {
+		// One worker cannot beat the sequential algorithm; skip the
+		// partitioning overhead entirely.
+		return Hash{}.Divide(r, s, sem)
+	}
+
+	// Build phase (sequential): divisor dictionary and partition map.
+	var build Stats
+	slots := rel.NewInterner() // S value -> dense slot, shared read-only
+	for _, t := range s.Tuples() {
+		build.TuplesRead++
+		build.Probes++
+		slots.Intern(t[0])
+	}
+	need := slots.Len()
+	words := (need + 63) / 64
+	rt := r.Tuples()
+	gids := rel.NewInterner() // group value -> ID; drives partitioning
+	parts := ex.PartitionCount()
+	partIdx := engine.PartitionByFirst(gids, rt, parts)
+
+	// Work phase: each partition runs the Graefe bitmap scheme on its
+	// shard, probing only the shared read-only dictionaries.
+	qualified := make([][]rel.Value, parts)
+	partStats := make([]Stats, parts)
+	ex.Run(parts, func(q int) {
+		st := &partStats[q]
+		local := make(map[uint32]*divGroup) // global group ID -> state
+		var order []uint32
+		for _, i := range partIdx[q] {
+			t := rt[i]
+			st.TuplesRead++
+			st.Probes++
+			gid, _ := gids.ID(t[0]) // present: interned during partitioning
+			g := local[gid]
+			if g == nil {
+				g = &divGroup{rep: t[0], seen: make([]uint64, words)}
+				local[gid] = g
+				order = append(order, gid)
+			}
+			st.Probes++
+			if slot, ok := slots.ID(t[1]); ok {
+				g.mark(slot)
+			} else {
+				g.extras++
+			}
+		}
+		st.MaxMemoryTuples = len(local) + len(local)*words
+		for _, gid := range order {
+			g := local[gid]
+			if g.hits != need {
+				continue
+			}
+			if sem == Equality && g.extras > 0 {
+				continue
+			}
+			qualified[q] = append(qualified[q], g.rep)
+		}
+	})
+
+	// Merge phase: concatenate in partition order; sum the stats. All
+	// partitions are resident at once, so memory adds up (plus the
+	// shared divisor table).
+	st := build
+	st.MaxMemoryTuples = s.Len()
+	for q := range partStats {
+		st.Comparisons += partStats[q].Comparisons
+		st.Probes += partStats[q].Probes
+		st.TuplesRead += partStats[q].TuplesRead
+		st.MaxMemoryTuples += partStats[q].MaxMemoryTuples
+	}
+	out := rel.NewRelation(1)
+	for _, reps := range qualified {
+		for _, rep := range reps {
+			out.Add(rel.Tuple{rep})
+		}
+	}
+	return out, st
+}

@@ -1,0 +1,61 @@
+package engine_test
+
+// End-to-end equivalence: on randomized workload instances, every
+// parallel operator built on the engine must return exactly the
+// relation its sequential counterpart returns — same tuple set and
+// same String rendering — for several worker counts. This is the
+// acceptance gate for the partitioned executor: parallelism may only
+// change wall-clock time, never results.
+
+import (
+	"testing"
+
+	"radiv/internal/division"
+	"radiv/internal/setjoin"
+	"radiv/internal/workload"
+)
+
+func TestParallelDivisionEquivalenceOnRandomWorkloads(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		wl := workload.RandomDivision(seed)
+		r, s := wl.Generate()
+		for _, sem := range []division.Semantics{division.Containment, division.Equality} {
+			want, _ := division.Hash{}.Divide(r, s, sem)
+			ref := division.Reference(r, s, sem)
+			if !want.Equal(ref) {
+				t.Fatalf("seed %d %s (%s): sequential hash disagrees with reference", seed, sem, wl)
+			}
+			for _, workers := range []int{1, 2, 4, 9} {
+				got, _ := division.ParallelHash{Workers: workers}.Divide(r, s, sem)
+				if !got.Equal(want) || got.String() != want.String() {
+					t.Fatalf("seed %d %s workers=%d (%s):\nparallel %vsequential %v",
+						seed, sem, workers, wl, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelSetJoinEquivalenceOnRandomWorkloads(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		wl := workload.RandomSetJoin(seed)
+		r, s := wl.Generate()
+		gr, gs := setjoin.Groups(r), setjoin.Groups(s)
+
+		wantC, _ := setjoin.SignatureContainment{}.Join(gr, gs)
+		if ref := setjoin.Reference(gr, gs, setjoin.Containment); !wantC.Equal(ref) {
+			t.Fatalf("seed %d (%s): sequential signature disagrees with reference", seed, wl)
+		}
+		wantE, _ := setjoin.HashEquality{}.Join(gr, gs)
+		for _, workers := range []int{1, 2, 4, 9} {
+			gotC, _ := setjoin.ParallelSignatureContainment{Workers: workers}.Join(gr, gs)
+			if !gotC.Equal(wantC) || gotC.String() != wantC.String() {
+				t.Fatalf("seed %d workers=%d (%s): containment differs", seed, workers, wl)
+			}
+			gotE, _ := setjoin.ParallelHashEquality{Workers: workers}.Join(gr, gs)
+			if !gotE.Equal(wantE) || gotE.String() != wantE.String() {
+				t.Fatalf("seed %d workers=%d (%s): equality differs", seed, workers, wl)
+			}
+		}
+	}
+}

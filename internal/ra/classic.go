@@ -131,9 +131,10 @@ func Divide(r, s *rel.Relation) *rel.Relation {
 		groups[k][rel.Tuple{t[1]}.Key()] = true
 	}
 	out := rel.NewRelation(1)
+	stp := s.Tuples()
 	for k, set := range groups {
 		ok := true
-		for _, st := range s.Tuples() {
+		for _, st := range stp {
 			if !set[rel.Tuple{st[0]}.Key()] {
 				ok = false
 				break

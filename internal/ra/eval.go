@@ -57,11 +57,66 @@ func Eval(e Expr, d *rel.Database) *rel.Relation {
 }
 
 // EvalTraced evaluates the expression and also returns the
-// intermediate-size trace.
+// intermediate-size trace. The expression is validated first
+// (Validate), so malformed trees — possible through direct struct
+// construction, which bypasses the checking constructors — fail with a
+// clear "ra:"-prefixed panic instead of a raw index-out-of-range.
 func EvalTraced(e Expr, d *rel.Database) (*rel.Relation, *Trace) {
+	if err := Validate(e); err != nil {
+		panic("ra: invalid expression: " + err.Error())
+	}
 	tr := &Trace{}
 	res := eval(e, d, tr)
 	return res, tr
+}
+
+// Validate checks every node of the expression tree for structural
+// errors: projection and selection column indices out of the child's
+// arity, join-condition atoms out of the operands' arities, and
+// union/difference arity mismatches. The checking constructors
+// (NewSelect, NewProject, ...) enforce the same invariants at build
+// time; Validate covers trees assembled from struct literals.
+func Validate(e Expr) error {
+	for _, c := range e.Children() {
+		if err := Validate(c); err != nil {
+			return err
+		}
+	}
+	switch n := e.(type) {
+	case *Rel:
+		// Arity consistency with the database is checked at eval time.
+	case *Union:
+		if n.L.Arity() != n.E.Arity() {
+			return fmt.Errorf("union of arities %d and %d", n.L.Arity(), n.E.Arity())
+		}
+	case *Diff:
+		if n.L.Arity() != n.E.Arity() {
+			return fmt.Errorf("difference of arities %d and %d", n.L.Arity(), n.E.Arity())
+		}
+	case *Project:
+		for _, c := range n.Cols {
+			if c < 1 || c > n.E.Arity() {
+				return fmt.Errorf("projection index %d out of range 1..%d in %s", c, n.E.Arity(), n)
+			}
+		}
+	case *Select:
+		if n.I < 1 || n.I > n.E.Arity() || n.J < 1 || n.J > n.E.Arity() {
+			return fmt.Errorf("selection σ%d%s%d on arity %d", n.I, n.Op, n.J, n.E.Arity())
+		}
+	case *SelectConst:
+		if n.I < 1 || n.I > n.E.Arity() {
+			return fmt.Errorf("selection σ%d='%v' on arity %d", n.I, n.C, n.E.Arity())
+		}
+	case *ConstTag:
+		// Always well formed.
+	case *Join:
+		if err := n.Cond.Validate(n.L.Arity(), n.E.Arity()); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown expression %T", e)
+	}
+	return nil
 }
 
 func eval(e Expr, d *rel.Database, tr *Trace) *rel.Relation {
@@ -114,12 +169,20 @@ func eval(e Expr, d *rel.Database, tr *Trace) *rel.Relation {
 // join on the equality columns is used; the remaining atoms are applied
 // as a residual filter. Without equalities it falls back to a
 // nested-loop join.
+//
+// The hash join keys on interned value IDs packed into a uint64 (up to
+// two equality atoms cover every expression in this library, including
+// the division and semijoin shapes); with three or more equality atoms
+// it falls back to the injective Tuple.Key string encoding. Probe-side
+// values missing from the build-side dictionary cannot participate in
+// any equality match and are skipped without hashing.
 func evalJoin(j *Join, r1, r2 *rel.Relation) *rel.Relation {
 	out := rel.NewRelation(r1.Arity() + r2.Arity())
+	r1t, r2t := r1.Tuples(), r2.Tuples()
 	eqs := j.Cond.EqPairs()
 	if len(eqs) == 0 {
-		for _, a := range r1.Tuples() {
-			for _, b := range r2.Tuples() {
+		for _, a := range r1t {
+			for _, b := range r2t {
 				if j.Cond.Holds(a, b) {
 					out.Add(a.Concat(b))
 				}
@@ -127,24 +190,57 @@ func evalJoin(j *Join, r1, r2 *rel.Relation) *rel.Relation {
 		}
 		return out
 	}
-	// Hash r2 on its equality columns.
+	if len(eqs) <= 2 {
+		in := rel.NewInterner()
+		pack := func(t rel.Tuple, side int) (uint64, bool) {
+			var k uint64
+			for _, p := range eqs {
+				v := t[p[side]-1]
+				var id uint32
+				if side == 1 {
+					id = in.Intern(v)
+				} else {
+					var ok bool
+					if id, ok = in.ID(v); !ok {
+						return 0, false
+					}
+				}
+				k = k<<32 | uint64(id)
+			}
+			return k, true
+		}
+		index := make(map[uint64][]rel.Tuple, r2.Len())
+		for _, b := range r2t {
+			k, _ := pack(b, 1)
+			index[k] = append(index[k], b)
+		}
+		for _, a := range r1t {
+			k, ok := pack(a, 0)
+			if !ok {
+				continue
+			}
+			for _, b := range index[k] {
+				if j.Cond.Holds(a, b) {
+					out.Add(a.Concat(b))
+				}
+			}
+		}
+		return out
+	}
+	// Fallback for > 2 equality atoms: injective string keys.
 	key := func(t rel.Tuple, side int) string {
 		k := make(rel.Tuple, len(eqs))
 		for i, p := range eqs {
-			if side == 0 {
-				k[i] = t[p[0]-1]
-			} else {
-				k[i] = t[p[1]-1]
-			}
+			k[i] = t[p[side]-1]
 		}
 		return k.Key()
 	}
 	index := make(map[string][]rel.Tuple, r2.Len())
-	for _, b := range r2.Tuples() {
+	for _, b := range r2t {
 		k := key(b, 1)
 		index[k] = append(index[k], b)
 	}
-	for _, a := range r1.Tuples() {
+	for _, a := range r1t {
 		for _, b := range index[key(a, 0)] {
 			if j.Cond.Holds(a, b) {
 				out.Add(a.Concat(b))

@@ -1,0 +1,110 @@
+package ra
+
+import (
+	"strings"
+	"testing"
+
+	"radiv/internal/rel"
+)
+
+func testDB() *rel.Database {
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 2, "S": 1}))
+	d.AddInts("R", 1, 2)
+	d.AddInts("S", 2)
+	return d
+}
+
+// Malformed expressions built from struct literals bypass the checking
+// constructors; evaluation must reject them with a clear ra:-prefixed
+// message, not a raw index-out-of-range panic.
+func TestEvalRejectsMalformedExpressions(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Expr
+	}{
+		{"select index high", &Select{I: 5, Op: OpEq, J: 1, E: R("R", 2)}},
+		{"select index zero", &Select{I: 0, Op: OpLt, J: 2, E: R("R", 2)}},
+		{"selectconst index", &SelectConst{I: 3, C: rel.Int(7), E: R("R", 2)}},
+		{"project index", &Project{Cols: []int{1, 4}, E: R("R", 2)}},
+		{"join cond left", &Join{L: R("R", 2), E: R("S", 1), Cond: Cond{A(3, OpEq, 1)}}},
+		{"join cond right", &Join{L: R("R", 2), E: R("S", 1), Cond: Cond{A(1, OpEq, 2)}}},
+		{"union arity", &Union{L: R("R", 2), E: R("S", 1)}},
+		{"diff arity", &Diff{L: R("S", 1), E: R("R", 2)}},
+		{"nested deep", NewProject([]int{1}, &Union{L: R("R", 2), E: &Select{I: 9, Op: OpEq, J: 1, E: R("R", 2)}}),
+		},
+	}
+	d := testDB()
+	for _, tc := range cases {
+		if err := Validate(tc.e); err == nil {
+			t.Errorf("%s: Validate accepted malformed expression %s", tc.name, tc.e)
+		}
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%s: Eval did not panic", tc.name)
+					return
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.HasPrefix(msg, "ra: invalid expression: ") {
+					t.Errorf("%s: panic %v lacks ra: prefix", tc.name, r)
+				}
+			}()
+			Eval(tc.e, d)
+		}()
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	exprs := []Expr{
+		DivisionExpr("R", "S"),
+		EqualityDivisionExpr("R", "S"),
+		NewProject([]int{2, 1}, NewSelect(1, OpLt, 2, R("R", 2))),
+		NewJoin(R("R", 2), Eq(2, 1), R("S", 1)),
+		NewConstTag(rel.Str("c"), R("S", 1)),
+		NewSelectConst(1, rel.Int(1), R("R", 2)),
+	}
+	d := testDB()
+	for _, e := range exprs {
+		if err := Validate(e); err != nil {
+			t.Errorf("Validate(%s) = %v", e, err)
+		}
+		Eval(e, d) // must not panic
+	}
+}
+
+// The interned hash join must agree with a nested-loop evaluation of
+// the same condition, including when probe values never occur on the
+// build side and when keys mix kinds.
+func TestEvalJoinInternedAgainstNested(t *testing.T) {
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"L": 2, "M": 2}))
+	d.Add("L", rel.T(rel.Int(1), rel.Str("1")))
+	d.Add("L", rel.T(rel.Str("1"), rel.Int(1)))
+	d.Add("L", rel.T(rel.Int(2), rel.Int(3)))
+	d.Add("L", rel.T(rel.Int(9), rel.Int(9))) // 9 never occurs in M
+	d.Add("M", rel.T(rel.Str("1"), rel.Int(1)))
+	d.Add("M", rel.T(rel.Int(3), rel.Int(2)))
+	d.Add("M", rel.T(rel.Int(1), rel.Str("x")))
+
+	conds := []Cond{
+		Eq(1, 1),
+		Eq(2, 1),
+		EqAll([2]int{1, 2}, [2]int{2, 1}),
+		Eq(1, 2).And(A(2, OpNe, 1)), // equality plus residual filter
+	}
+	for _, c := range conds {
+		hash := Eval(NewJoin(R("L", 2), c, R("M", 2)), d)
+		// Nested-loop oracle: product then condition applied manually.
+		want := rel.NewRelation(4)
+		for _, a := range d.Rel("L").Tuples() {
+			for _, b := range d.Rel("M").Tuples() {
+				if c.Holds(a, b) {
+					want.Add(a.Concat(b))
+				}
+			}
+		}
+		if !hash.Equal(want) {
+			t.Errorf("cond %s: hash join %vwant %v", c, hash, want)
+		}
+	}
+}

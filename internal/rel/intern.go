@@ -1,0 +1,89 @@
+package rel
+
+// This file implements value interning: a dictionary assigning each
+// distinct Value a dense uint32 ID. Interned IDs replace the injective
+// string encodings of Tuple.Key on the hot paths (relation
+// deduplication, hash joins, hash division, set-join grouping): an
+// integer map probe is both allocation-free and considerably cheaper
+// than building a key string per tuple. The string path remains
+// available through Tuple.Key as the fallback for code that needs an
+// injective encoding without a shared dictionary.
+
+// Interner assigns dense uint32 IDs to values. IDs are allocated in
+// first-intern order starting at 0, so an Interner also acts as an
+// ordered dictionary of the distinct values it has seen. The zero
+// Interner is not usable; call NewInterner.
+//
+// An Interner is not safe for concurrent mutation. Concurrent readers
+// (ID, Value, Len) are safe once interning is complete, which is the
+// access pattern of the parallel executors in internal/engine: intern
+// sequentially during the build phase, probe read-only from workers.
+type Interner struct {
+	ints map[int64]uint32
+	strs map[string]uint32
+	vals []Value
+}
+
+// NewInterner returns an empty dictionary.
+func NewInterner() *Interner {
+	return &Interner{ints: make(map[int64]uint32), strs: make(map[string]uint32)}
+}
+
+// Intern returns the ID of v, assigning the next free ID when v has not
+// been seen before.
+func (in *Interner) Intern(v Value) uint32 {
+	if v.kind == KindInt {
+		if id, ok := in.ints[v.i]; ok {
+			return id
+		}
+		id := uint32(len(in.vals))
+		in.ints[v.i] = id
+		in.vals = append(in.vals, v)
+		return id
+	}
+	if id, ok := in.strs[v.s]; ok {
+		return id
+	}
+	id := uint32(len(in.vals))
+	in.strs[v.s] = id
+	in.vals = append(in.vals, v)
+	return id
+}
+
+// ID returns the ID of v without interning; ok is false when v has not
+// been seen.
+func (in *Interner) ID(v Value) (uint32, bool) {
+	if v.kind == KindInt {
+		id, ok := in.ints[v.i]
+		return id, ok
+	}
+	id, ok := in.strs[v.s]
+	return id, ok
+}
+
+// Value returns the value with the given ID. It panics when the ID has
+// not been assigned.
+func (in *Interner) Value(id uint32) Value { return in.vals[id] }
+
+// Len returns the number of distinct values interned.
+func (in *Interner) Len() int { return len(in.vals) }
+
+// hashIDs mixes a sequence of interned IDs into a 64-bit hash
+// (FNV-1a over the IDs followed by a splitmix64-style finisher). The
+// hash is used for bucketing only — equality is always confirmed on
+// the tuples themselves — so collisions cost time, never correctness.
+func hashIDs(ids []uint32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, id := range ids {
+		h ^= uint64(id)
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}

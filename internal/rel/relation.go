@@ -10,10 +10,17 @@ import (
 // set semantics (no duplicates) as in Definition 1; insertion order is
 // preserved for deterministic iteration, which keeps tests and
 // benchmark output stable.
+//
+// Deduplication runs on interned value IDs: each relation owns an
+// Interner and an integer hash index, so Add and Contains never build
+// the Tuple.Key string encodings (those remain available to callers
+// that need an injective encoding without a dictionary).
 type Relation struct {
 	arity  int
 	tuples []Tuple
-	index  map[string]int // Key() -> position in tuples
+	intern *Interner
+	index  map[uint64][]int32 // hashIDs of interned tuple -> candidate positions
+	idbuf  []uint32           // scratch for Add/Contains, avoids per-call allocation
 }
 
 // NewRelation returns an empty relation of the given arity. Arity 0 is
@@ -23,8 +30,19 @@ func NewRelation(arity int) *Relation {
 	if arity < 0 {
 		panic("rel: negative arity")
 	}
-	return &Relation{arity: arity, index: make(map[string]int)}
+	return &Relation{
+		arity:  arity,
+		intern: NewInterner(),
+		index:  make(map[uint64][]int32),
+		idbuf:  make([]uint32, arity),
+	}
 }
+
+// Interner exposes the relation's value dictionary: every value
+// occurring in the relation has an ID, in first-occurrence order. The
+// dictionary is read-only for callers; concurrent reads are safe as
+// long as no Add runs.
+func (r *Relation) Interner() *Interner { return r.intern }
 
 // FromTuples builds a relation of the given arity from tuples,
 // deduplicating as it goes. It panics if a tuple has the wrong arity.
@@ -56,32 +74,60 @@ func (r *Relation) Arity() int { return r.arity }
 func (r *Relation) Len() int { return len(r.tuples) }
 
 // Add inserts a tuple, ignoring duplicates. It reports whether the
-// tuple was new. It panics if the tuple has the wrong arity.
+// tuple was new. It panics if the tuple has the wrong arity. The
+// relation stores a clone, so the caller keeps ownership of t.
 func (r *Relation) Add(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("rel: tuple arity %d inserted into relation of arity %d", len(t), r.arity))
 	}
-	k := t.Key()
-	if _, ok := r.index[k]; ok {
-		return false
+	ids := r.idbuf
+	for i, v := range t {
+		ids[i] = r.intern.Intern(v)
 	}
-	r.index[k] = len(r.tuples)
+	h := hashIDs(ids)
+	for _, pos := range r.index[h] {
+		if r.tuples[pos].Equal(t) {
+			return false
+		}
+	}
+	r.index[h] = append(r.index[h], int32(len(r.tuples)))
 	r.tuples = append(r.tuples, t.Clone())
 	return true
 }
 
-// Contains reports membership of t in the relation.
+// Contains reports membership of t in the relation. It is read-only
+// and safe for concurrent use with other readers.
 func (r *Relation) Contains(t Tuple) bool {
 	if len(t) != r.arity {
 		return false
 	}
-	_, ok := r.index[t.Key()]
-	return ok
+	var buf [4]uint32
+	ids := buf[:0]
+	for _, v := range t {
+		id, ok := r.intern.ID(v)
+		if !ok {
+			return false // a value the relation has never seen
+		}
+		ids = append(ids, id)
+	}
+	for _, pos := range r.index[hashIDs(ids)] {
+		if r.tuples[pos].Equal(t) {
+			return true
+		}
+	}
+	return false
 }
 
 // Tuples returns the tuples in insertion order. The returned slice is
-// owned by the relation and must not be modified.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
+// a fresh copy the caller may reorder or truncate freely; the Tuple
+// values themselves are shared with the relation and MUST NOT be
+// modified in place — doing so would corrupt the deduplication index.
+// Use Tuple.Clone before mutating a tuple obtained from a relation.
+func (r *Relation) Tuples() []Tuple {
+	ts := make([]Tuple, len(r.tuples))
+	copy(ts, r.tuples)
+	return ts
+}
 
 // Sorted returns the tuples in lexicographic order as a fresh slice.
 func (r *Relation) Sorted() []Tuple {

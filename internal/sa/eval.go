@@ -108,8 +108,9 @@ func evalSemijoin(cond ra.Cond, r1, r2 *rel.Relation, keep bool) *rel.Relation {
 	}
 	var hasPartner func(a rel.Tuple) bool
 	if len(eqs) == 0 {
+		r2t := r2.Tuples()
 		hasPartner = func(a rel.Tuple) bool {
-			for _, b := range r2.Tuples() {
+			for _, b := range r2t {
 				if cond.Holds(a, b) {
 					return true
 				}

@@ -277,19 +277,35 @@ func (EquijoinOverlap) Join(r, s []*Group) (*rel.Relation, Stats) {
 	return out, st
 }
 
-// ContainmentAlgorithms returns the containment-join implementations.
-func ContainmentAlgorithms() []Algorithm {
+// ContainmentAlgorithms returns the containment-join implementations,
+// parallel variants at their default worker count.
+func ContainmentAlgorithms() []Algorithm { return ContainmentAlgorithmsWorkers(0) }
+
+// ContainmentAlgorithmsWorkers is ContainmentAlgorithms with an
+// explicit worker count for the parallel variants (<= 0 means one
+// worker per CPU).
+func ContainmentAlgorithmsWorkers(workers int) []Algorithm {
 	return []Algorithm{
 		NestedLoopContainment{},
 		SignatureContainment{},
 		InvertedIndexContainment{},
 		PartitionedContainment{},
+		ParallelSignatureContainment{Workers: workers},
 	}
 }
 
-// EqualityAlgorithms returns the equality-join implementations.
-func EqualityAlgorithms() []Algorithm {
-	return []Algorithm{NestedLoopEquality{}, SortEquality{}, HashEquality{}}
+// EqualityAlgorithms returns the equality-join implementations,
+// parallel variants at their default worker count.
+func EqualityAlgorithms() []Algorithm { return EqualityAlgorithmsWorkers(0) }
+
+// EqualityAlgorithmsWorkers is EqualityAlgorithms with an explicit
+// worker count for the parallel variants (<= 0 means one worker per
+// CPU).
+func EqualityAlgorithmsWorkers(workers int) []Algorithm {
+	return []Algorithm{
+		NestedLoopEquality{}, SortEquality{}, HashEquality{},
+		ParallelHashEquality{Workers: workers},
+	}
 }
 
 func min(a, b int) int {

@@ -55,7 +55,7 @@ func TestPSJPartitioningPrunes(t *testing.T) {
 func TestPSJEmptyProbeSet(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	r := randomGroups(rng, 5, 6, 3)
-	empty := &Group{Key: rel.Int(42), elemKeys: map[string]bool{}}
+	empty := &Group{Key: rel.Int(42)}
 	got, _ := PartitionedContainment{Partitions: 4}.Join(r, []*Group{empty})
 	if got.Len() != len(r) {
 		t.Errorf("empty probe matched %d of %d groups", got.Len(), len(r))

@@ -26,37 +26,35 @@ import (
 // Group is one set-valued row: a key value and its associated element
 // set, sorted.
 type Group struct {
-	Key      rel.Value
-	Elems    []rel.Value // sorted, distinct
-	elemKeys map[string]bool
-	sig      uint64
+	Key   rel.Value
+	Elems []rel.Value // sorted, distinct
+	sig   uint64
+	ckey  string // canonical encoding, memoized by Groups
 }
 
 // Groups converts a binary relation into its set-valued form, one
 // group per distinct first-column value, in first-occurrence order.
+// Grouping and element deduplication run on interned IDs, so no key
+// strings are built per tuple.
 func Groups(r *rel.Relation) []*Group {
 	if r.Arity() != 2 {
 		panic(fmt.Sprintf("setjoin: relation arity %d, want 2", r.Arity()))
 	}
-	index := map[string]*Group{}
+	gids := rel.NewInterner() // group key -> dense index into order
 	var order []*Group
 	for _, t := range r.Tuples() {
-		k := rel.Tuple{t[0]}.Key()
-		g := index[k]
-		if g == nil {
-			g = &Group{Key: t[0], elemKeys: map[string]bool{}}
-			index[k] = g
-			order = append(order, g)
+		gid := gids.Intern(t[0])
+		if int(gid) == len(order) {
+			order = append(order, &Group{Key: t[0]})
 		}
-		ek := rel.Tuple{t[1]}.Key()
-		if !g.elemKeys[ek] {
-			g.elemKeys[ek] = true
-			g.Elems = append(g.Elems, t[1])
-		}
+		// No per-group dedup needed: r has set semantics, so (key,
+		// elem) pairs — and hence elems within a group — are distinct.
+		order[gid].Elems = append(order[gid].Elems, t[1])
 	}
 	for _, g := range order {
 		sort.Slice(g.Elems, func(i, j int) bool { return g.Elems[i].Less(g.Elems[j]) })
 		g.sig = signature(g.Elems)
+		g.ckey = canonicalKey(g.Elems)
 	}
 	return order
 }
@@ -72,14 +70,27 @@ func signature(elems []rel.Value) uint64 {
 	return s
 }
 
+// hashValue hashes a value's payload directly (FNV-1a), without
+// building the Tuple.Key encoding. Both join sides hash value content,
+// so signatures and partitions agree across independently built group
+// lists.
 func hashValue(v rel.Value) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	for _, b := range []byte(rel.Tuple{v}.Key()) {
-		h ^= uint64(b)
+	if v.IsInt() {
+		n := uint64(v.AsInt())
+		for i := 0; i < 8; i++ {
+			h ^= n & 0xff
+			h *= prime64
+			n >>= 8
+		}
+		return h
+	}
+	for i := 0; i < len(v.AsString()); i++ {
+		h ^= uint64(v.AsString()[i])
 		h *= prime64
 	}
 	return h
@@ -108,13 +119,39 @@ func (g *Group) ContainsAll(h *Group, cmp *int) bool {
 }
 
 // CanonicalKey returns an injective encoding of the element set, used
-// by the equality joins.
+// by the equality joins. For groups built by Groups the encoding is
+// memoized; hand-built groups (zero ckey) compute it on the fly.
 func (g *Group) CanonicalKey() string {
+	if g.ckey == "" && len(g.Elems) > 0 {
+		g.ckey = canonicalKey(g.Elems)
+	}
+	return g.ckey
+}
+
+func canonicalKey(elems []rel.Value) string {
 	var b strings.Builder
-	for _, e := range g.Elems {
+	for _, e := range elems {
 		b.WriteString(rel.Tuple{e}.Key())
 	}
 	return b.String()
+}
+
+// ContainsElem reports whether v is an element of the group's set, by
+// binary search over the sorted element list.
+func (g *Group) ContainsElem(v rel.Value) bool {
+	lo, hi := 0, len(g.Elems)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch c := g.Elems[mid].Cmp(v); {
+		case c == 0:
+			return true
+		case c < 0:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false
 }
 
 // Stats counts the work performed by a set-join algorithm.
@@ -176,7 +213,7 @@ func Reference(r, s []*Group, p Predicate) *rel.Relation {
 				ok = gr.CanonicalKey() == gs.CanonicalKey()
 			case Overlap:
 				for _, e := range gs.Elems {
-					if gr.elemKeys[rel.Tuple{e}.Key()] {
+					if gr.ContainsElem(e) {
 						ok = true
 						break
 					}

@@ -142,7 +142,7 @@ func TestAllAlgorithmsAgreeRandom(t *testing.T) {
 // build one explicitly.
 func TestEmptyDSet(t *testing.T) {
 	r := randomGroups(rand.New(rand.NewSource(1)), 3, 5, 3)
-	empty := &Group{Key: rel.Int(99), elemKeys: map[string]bool{}}
+	empty := &Group{Key: rel.Int(99)}
 	for _, alg := range ContainmentAlgorithms() {
 		got, _ := alg.Join(r, []*Group{empty})
 		if got.Len() != len(r) {

@@ -178,6 +178,39 @@ func (w SetJoin) String() string {
 		w.RGroups, w.SGroups, w.MeanSize, w.Dist, w.Domain, w.ContainFraction)
 }
 
+// RandomDivision derives a randomized division workload from a seed:
+// group counts, sizes, distribution, divisor size and selectivity all
+// vary, which is what the parallel-vs-sequential equivalence tests
+// sweep. The workload is reproducible: equal seeds give equal
+// parameters (and Generate is deterministic given those).
+func RandomDivision(seed int64) Division {
+	rng := rand.New(rand.NewSource(seed))
+	return Division{
+		Groups:        1 + rng.Intn(200),
+		GroupSize:     1 + rng.Intn(12),
+		Dist:          SizeDist(rng.Intn(3)),
+		DivisorSize:   rng.Intn(10),
+		MatchFraction: rng.Float64(),
+		Domain:        1 + rng.Intn(64),
+		Seed:          rng.Int63(),
+	}
+}
+
+// RandomSetJoin derives a randomized set-join workload from a seed,
+// analogous to RandomDivision.
+func RandomSetJoin(seed int64) SetJoin {
+	rng := rand.New(rand.NewSource(seed))
+	return SetJoin{
+		RGroups:         1 + rng.Intn(120),
+		SGroups:         1 + rng.Intn(120),
+		MeanSize:        1 + rng.Intn(8),
+		Dist:            SizeDist(rng.Intn(3)),
+		Domain:          1 + rng.Intn(40),
+		ContainFraction: rng.Float64() / 2,
+		Seed:            rng.Int63(),
+	}
+}
+
 func drawSize(rng *rand.Rand, dist SizeDist, mean int) int {
 	if mean <= 0 {
 		return 0

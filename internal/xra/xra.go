@@ -236,10 +236,11 @@ func evalGamma(g *Gamma, in *rel.Relation) *rel.Relation {
 
 func evalJoin(cond ra.Cond, l, r *rel.Relation) *rel.Relation {
 	out := rel.NewRelation(l.Arity() + r.Arity())
+	lt, rt := l.Tuples(), r.Tuples()
 	eqs := cond.EqPairs()
 	if len(eqs) == 0 {
-		for _, a := range l.Tuples() {
-			for _, b := range r.Tuples() {
+		for _, a := range lt {
+			for _, b := range rt {
 				if cond.Holds(a, b) {
 					out.Add(a.Concat(b))
 				}
@@ -259,10 +260,11 @@ func evalJoin(cond ra.Cond, l, r *rel.Relation) *rel.Relation {
 		}
 		return k.Key()
 	}
-	for _, b := range r.Tuples() {
-		index[key(b, 1)] = append(index[key(b, 1)], b)
+	for _, b := range rt {
+		k := key(b, 1)
+		index[k] = append(index[k], b)
 	}
-	for _, a := range l.Tuples() {
+	for _, a := range lt {
 		for _, b := range index[key(a, 0)] {
 			if cond.Holds(a, b) {
 				out.Add(a.Concat(b))
