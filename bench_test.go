@@ -379,6 +379,38 @@ func BenchmarkEngineSetJoinParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamedDivision (exp ST1) evaluates the classical
+// division expression with the materialized and the streaming
+// executor, reporting each one's memory observable: max intermediate
+// (quadratic, Proposition 26) versus max resident (linear — the
+// quadratic product flows through the pipeline but is never stored).
+func BenchmarkStreamedDivision(b *testing.B) {
+	r, s := benchDivisionInput(400)
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 2, "S": 1}))
+	for _, t := range r.Tuples() {
+		d.Add("R", t)
+	}
+	for _, t := range s.Tuples() {
+		d.Add("S", t)
+	}
+	e := ra.DivisionExpr("R", "S")
+	b.Run("materialized", func(b *testing.B) {
+		var tr *ra.Trace
+		for i := 0; i < b.N; i++ {
+			_, tr = ra.EvalTraced(e, d)
+		}
+		b.ReportMetric(float64(tr.MaxIntermediate), "max-intermediate")
+	})
+	b.Run("streamed", func(b *testing.B) {
+		var tr *ra.Trace
+		for i := 0; i < b.N; i++ {
+			_, tr = ra.EvalStreamedTraced(e, d)
+		}
+		b.ReportMetric(float64(tr.MaxResident), "max-resident")
+		b.ReportMetric(float64(tr.MaxIntermediate), "max-intermediate")
+	})
+}
+
 // BenchmarkBisimScaling measures the bisimilarity decision procedure
 // on growing chain databases (an ablation for the fixpoint algorithm).
 func BenchmarkBisimScaling(b *testing.B) {

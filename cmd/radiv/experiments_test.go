@@ -30,7 +30,7 @@ func TestExperimentIDsUnique(t *testing.T) {
 			t.Errorf("experiment %s has no title", e.ID)
 		}
 	}
-	for _, id := range []string{"F1", "F2", "F3", "F4", "F5", "F6", "E3", "T8", "T17", "P26", "SJ1", "SJ2", "G5"} {
+	for _, id := range []string{"F1", "F2", "F3", "F4", "F5", "F6", "E3", "T8", "T17", "P26", "SJ1", "SJ2", "G5", "ST1"} {
 		if !seen[id] {
 			t.Errorf("experiment %s missing from registry", id)
 		}
@@ -65,6 +65,9 @@ func TestExperimentOutputsCarryTheClaims(t *testing.T) {
 	}
 	if out := get("T8"); !strings.Contains(out, "12/12") {
 		t.Errorf("T8 differential check failing:\n%s", out)
+	}
+	if out := get("ST1"); !strings.Contains(out, "resident") || strings.Contains(out, "diverges") {
+		t.Errorf("ST1 lost the resident-vs-intermediate claim:\n%s", out)
 	}
 }
 

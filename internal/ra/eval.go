@@ -18,11 +18,23 @@ type Trace struct {
 	// post-order (children before parents).
 	Steps []TraceStep
 	// MaxIntermediate is the maximum output cardinality over all
-	// subexpressions, including the root.
+	// subexpressions, including the root. In a streamed trace
+	// (EvalStreamedTraced) it is the maximum *emission* count instead:
+	// dedup-deferred projections count duplicates, and stored
+	// relations consumed in place count zero, so streamed and
+	// materialized values are not like-for-like cardinalities.
 	MaxIntermediate int
 	// TotalTuples is the sum of all output cardinalities — a proxy for
 	// the total work an iterator-based executor would materialize.
 	TotalTuples int
+	// MaxResident is the peak number of tuples simultaneously held in
+	// operator state — hash-join build tables, union/difference sinks —
+	// across the whole plan. Only the streaming evaluator
+	// (EvalStreamedTraced) fills it; the materialized evaluator leaves
+	// it zero, since it holds every intermediate in full. The final
+	// result relation is not counted: every evaluator must hold its
+	// output, so MaxResident measures auxiliary state only.
+	MaxResident int
 }
 
 // TraceStep is one subexpression's evaluation record.
@@ -61,12 +73,22 @@ func Eval(e Expr, d *rel.Database) *rel.Relation {
 // (Validate), so malformed trees — possible through direct struct
 // construction, which bypasses the checking constructors — fail with a
 // clear "ra:"-prefixed panic instead of a raw index-out-of-range.
+//
+// The returned relation is always owned by the caller: when the root
+// of the expression is a bare relation name, the stored relation is
+// cloned (copy-on-read), so mutating the result never writes through
+// to the database. Every operator node already returns a fresh
+// relation; interior relation-name results are aliased read-only
+// views that never escape.
 func EvalTraced(e Expr, d *rel.Database) (*rel.Relation, *Trace) {
 	if err := Validate(e); err != nil {
 		panic("ra: invalid expression: " + err.Error())
 	}
 	tr := &Trace{}
 	res := eval(e, d, tr)
+	if _, bare := e.(*Rel); bare {
+		res = res.Clone()
+	}
 	return res, tr
 }
 
@@ -127,6 +149,9 @@ func eval(e Expr, d *rel.Database, tr *Trace) *rel.Relation {
 		if r.Arity() != n.arity {
 			panic(fmt.Sprintf("ra: relation %s has arity %d in database, expression expects %d", n.Name, r.Arity(), n.arity))
 		}
+		// Aliased read-only view; EvalTraced clones it if it is the
+		// root result, so callers never hold a reference into the
+		// database.
 		out = r
 	case *Union:
 		out = eval(n.L, d, tr).Union(eval(n.E, d, tr))
@@ -165,17 +190,54 @@ func eval(e Expr, d *rel.Database, tr *Trace) *rel.Relation {
 	return out
 }
 
-// evalJoin computes r1 ⋈θ r2. When θ contains equality atoms a hash
-// join on the equality columns is used; the remaining atoms are applied
-// as a residual filter. Without equalities it falls back to a
-// nested-loop join.
-//
-// The hash join keys on interned value IDs packed into a uint64 (up to
-// two equality atoms cover every expression in this library, including
-// the division and semijoin shapes); with three or more equality atoms
-// it falls back to the injective Tuple.Key string encoding. Probe-side
-// values missing from the build-side dictionary cannot participate in
-// any equality match and are skipped without hashing.
+// joinKeyer computes 64-bit hash keys over the equality columns of a
+// join condition, shared by the materialized and streaming hash joins.
+// Values are interned into a per-join dictionary; with at most two
+// equality atoms the IDs pack exactly (collision-free) into the key,
+// with more they are mixed by rel.HashIDs — collisions only cost extra
+// Cond.Holds verifications, never correctness, since both joins check
+// the full condition on every candidate pair.
+type joinKeyer struct {
+	eqs  [][2]int
+	dict *rel.Interner
+	ids  []uint32
+}
+
+func newJoinKeyer(eqs [][2]int) *joinKeyer {
+	return &joinKeyer{eqs: eqs, dict: rel.NewInterner(), ids: make([]uint32, len(eqs))}
+}
+
+// key computes the hash key of t's equality columns; side 1 interns
+// (build side), side 0 looks up only (probe side) and reports values
+// missing from the dictionary, which cannot participate in any
+// equality match.
+func (k *joinKeyer) key(t rel.Tuple, side int) (uint64, bool) {
+	for i, p := range k.eqs {
+		v := t[p[side]-1]
+		if side == 1 {
+			k.ids[i] = k.dict.Intern(v)
+		} else {
+			id, ok := k.dict.ID(v)
+			if !ok {
+				return 0, false
+			}
+			k.ids[i] = id
+		}
+	}
+	if len(k.eqs) <= 2 {
+		var h uint64
+		for _, id := range k.ids {
+			h = h<<32 | uint64(id)
+		}
+		return h, true
+	}
+	return rel.HashIDs(k.ids), true
+}
+
+// evalJoin computes r1 ⋈θ r2. When θ contains equality atoms, a hash
+// join keyed by joinKeyer on the equality columns is used and the
+// remaining atoms are applied as a residual filter; without equalities
+// it falls back to a nested-loop join.
 func evalJoin(j *Join, r1, r2 *rel.Relation) *rel.Relation {
 	out := rel.NewRelation(r1.Arity() + r2.Arity())
 	r1t, r2t := r1.Tuples(), r2.Tuples()
@@ -190,58 +252,18 @@ func evalJoin(j *Join, r1, r2 *rel.Relation) *rel.Relation {
 		}
 		return out
 	}
-	if len(eqs) <= 2 {
-		in := rel.NewInterner()
-		pack := func(t rel.Tuple, side int) (uint64, bool) {
-			var k uint64
-			for _, p := range eqs {
-				v := t[p[side]-1]
-				var id uint32
-				if side == 1 {
-					id = in.Intern(v)
-				} else {
-					var ok bool
-					if id, ok = in.ID(v); !ok {
-						return 0, false
-					}
-				}
-				k = k<<32 | uint64(id)
-			}
-			return k, true
-		}
-		index := make(map[uint64][]rel.Tuple, r2.Len())
-		for _, b := range r2t {
-			k, _ := pack(b, 1)
-			index[k] = append(index[k], b)
-		}
-		for _, a := range r1t {
-			k, ok := pack(a, 0)
-			if !ok {
-				continue
-			}
-			for _, b := range index[k] {
-				if j.Cond.Holds(a, b) {
-					out.Add(a.Concat(b))
-				}
-			}
-		}
-		return out
-	}
-	// Fallback for > 2 equality atoms: injective string keys.
-	key := func(t rel.Tuple, side int) string {
-		k := make(rel.Tuple, len(eqs))
-		for i, p := range eqs {
-			k[i] = t[p[side]-1]
-		}
-		return k.Key()
-	}
-	index := make(map[string][]rel.Tuple, r2.Len())
+	kr := newJoinKeyer(eqs)
+	index := make(map[uint64][]rel.Tuple, r2.Len())
 	for _, b := range r2t {
-		k := key(b, 1)
+		k, _ := kr.key(b, 1)
 		index[k] = append(index[k], b)
 	}
 	for _, a := range r1t {
-		for _, b := range index[key(a, 0)] {
+		k, ok := kr.key(a, 0)
+		if !ok {
+			continue
+		}
+		for _, b := range index[k] {
 			if j.Cond.Holds(a, b) {
 				out.Add(a.Concat(b))
 			}

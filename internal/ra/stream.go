@@ -1,0 +1,470 @@
+package ra
+
+// This file implements the streaming evaluator: a pull-based
+// (Volcano-style) executor whose operators yield one tuple at a time
+// through the Cursor interface instead of materializing every
+// subexpression. Selections, constant selections, constant tagging and
+// projections are fully pipelined (projection defers deduplication:
+// every consumer in this algebra is either another pipelined operator
+// or a sink that deduplicates through rel.Relation.Add, so duplicate
+// tuples are consumed harmlessly). Joins materialize only their build
+// side — a hash index on interned value IDs for equi-joins, a replayed
+// scan for pure theta/cartesian joins — and stream the probe side.
+// Union and difference remain blocking sinks, as set semantics
+// requires.
+//
+// The point of the exercise is observability: the paper's dichotomy
+// (Theorem 17) is about intermediate-result *sizes*, and the
+// materialized evaluator can only report what it materializes. The
+// streaming trace separates the two axes: TraceStep sizes and
+// MaxIntermediate count the tuples that *flow* through each operator,
+// while MaxResident records the peak number of tuples the executor
+// actually *holds* in operator state (build tables, sinks) at any one
+// moment. On the classical division expression the flow stays
+// quadratic — the paper proves it must — but the resident footprint
+// drops to linear, because the quadratic product is never stored.
+
+import (
+	"fmt"
+
+	"radiv/internal/rel"
+)
+
+// Cursor is the pull-based tuple iterator of the streaming evaluator:
+// Next returns the next tuple and true, or (nil, false) once the
+// stream is exhausted. Yielded tuples may share storage with database
+// relations and must be treated as read-only.
+type Cursor interface {
+	Next() (rel.Tuple, bool)
+}
+
+// EvalStreamed evaluates the expression with the streaming executor
+// and returns the result relation. The result is always a fresh
+// relation owned by the caller.
+func EvalStreamed(e Expr, d *rel.Database) *rel.Relation {
+	res, _ := EvalStreamedTraced(e, d)
+	return res
+}
+
+// EvalStreamedTraced evaluates the expression with the streaming
+// executor and also returns the trace. Step sizes count the tuples
+// emitted by each operator — for dedup-deferred projections this can
+// exceed the node's set cardinality, and for stored relations consumed
+// in place (the subtrahend of a difference, the replayed side of a
+// cartesian join) it is zero, because no tuples flow through the
+// operator graph for them. MaxResident is filled in (see Trace). The
+// expression is validated first, as in EvalTraced.
+func EvalStreamedTraced(e Expr, d *rel.Database) (*rel.Relation, *Trace) {
+	if err := Validate(e); err != nil {
+		panic("ra: invalid expression: " + err.Error())
+	}
+	b := &streamBuilder{d: d, meter: &residentMeter{}}
+	out := rel.NewRelation(e.Arity())
+	var root *countNode
+	if u, ok := e.(*Union); ok {
+		// A root union's sink would be the result itself: drain both
+		// inputs straight into the output relation instead, so the
+		// result is built once and — per the MaxResident contract —
+		// not counted as resident.
+		var lc, rc Cursor
+		var ln, rn *countNode
+		lc, ln = b.cursor(u.L)
+		rc, rn = b.cursor(u.E)
+		root = &countNode{e: e, kids: []*countNode{ln, rn}}
+		for t, ok := lc.Next(); ok; t, ok = lc.Next() {
+			out.Add(t)
+		}
+		for t, ok := rc.Next(); ok; t, ok = rc.Next() {
+			out.Add(t)
+		}
+		root.n = out.Len()
+	} else {
+		var cur Cursor
+		cur, root = b.cursor(e)
+		for t, ok := cur.Next(); ok; t, ok = cur.Next() {
+			out.Add(t)
+		}
+	}
+	tr := &Trace{}
+	root.record(tr)
+	tr.MaxResident = b.meter.max
+	return out, tr
+}
+
+// residentMeter tracks the number of tuples currently held in operator
+// state across the whole plan, and the peak. The final result relation
+// is not counted: every evaluator must hold its output, so MaxResident
+// measures only the executor's auxiliary state.
+type residentMeter struct{ cur, max int }
+
+func (m *residentMeter) grow(n int) {
+	m.cur += n
+	if m.cur > m.max {
+		m.max = m.cur
+	}
+}
+
+func (m *residentMeter) release(n int) { m.cur -= n }
+
+// countNode mirrors one occurrence of an expression node in the plan.
+// A subexpression shared between two places in the tree gets two
+// countNodes, exactly as the materialized evaluator evaluates (and
+// records) it twice.
+type countNode struct {
+	e    Expr
+	n    int
+	kids []*countNode
+}
+
+// record appends the subtree's steps to the trace in post-order,
+// matching the materialized evaluator's step order.
+func (c *countNode) record(tr *Trace) {
+	for _, k := range c.kids {
+		k.record(tr)
+	}
+	tr.record(c.e, c.n)
+}
+
+// countCursor wraps an operator cursor and counts its emissions into
+// the plan's countNode.
+type countCursor struct {
+	in   Cursor
+	node *countNode
+}
+
+func (c *countCursor) Next() (rel.Tuple, bool) {
+	t, ok := c.in.Next()
+	if ok {
+		c.node.n++
+	}
+	return t, ok
+}
+
+// streamBuilder translates an expression tree into a cursor plan.
+type streamBuilder struct {
+	d     *rel.Database
+	meter *residentMeter
+}
+
+// baseRel resolves a relation-name node against the database, with the
+// same arity check the materialized evaluator performs.
+func (b *streamBuilder) baseRel(n *Rel) *rel.Relation {
+	r := b.d.Rel(n.Name)
+	if r.Arity() != n.arity {
+		panic(fmt.Sprintf("ra: relation %s has arity %d in database, expression expects %d", n.Name, r.Arity(), n.arity))
+	}
+	return r
+}
+
+func (b *streamBuilder) cursor(e Expr) (Cursor, *countNode) {
+	node := &countNode{e: e}
+	var cur Cursor
+	switch n := e.(type) {
+	case *Rel:
+		cur = b.baseRel(n).Cursor()
+	case *Union:
+		l, ln := b.cursor(n.L)
+		r, rn := b.cursor(n.E)
+		node.kids = []*countNode{ln, rn}
+		cur = &unionCursor{l: l, r: r, arity: n.Arity(), meter: b.meter}
+	case *Diff:
+		l, ln := b.cursor(n.L)
+		node.kids = []*countNode{ln}
+		dc := &diffCursor{in: l, arity: n.Arity(), meter: b.meter}
+		if base, ok := n.E.(*Rel); ok {
+			// The subtrahend is a stored relation: probe it in place,
+			// holding nothing.
+			dc.right = b.baseRel(base)
+			node.kids = append(node.kids, &countNode{e: n.E})
+		} else {
+			rc, rn := b.cursor(n.E)
+			dc.buildC = rc
+			node.kids = append(node.kids, rn)
+		}
+		cur = dc
+	case *Project:
+		in, kn := b.cursor(n.E)
+		node.kids = []*countNode{kn}
+		cols := n.Cols
+		cur = &mapCursor{in: in, f: func(t rel.Tuple) rel.Tuple { return t.Project(cols) }}
+	case *Select:
+		in, kn := b.cursor(n.E)
+		node.kids = []*countNode{kn}
+		i, op, j := n.I, n.Op, n.J
+		cur = &filterCursor{in: in, keep: func(t rel.Tuple) bool { return op.Eval(t[i-1], t[j-1]) }}
+	case *SelectConst:
+		in, kn := b.cursor(n.E)
+		node.kids = []*countNode{kn}
+		i, cv := n.I, n.C
+		cur = &filterCursor{in: in, keep: func(t rel.Tuple) bool { return t[i-1].Equal(cv) }}
+	case *ConstTag:
+		in, kn := b.cursor(n.E)
+		node.kids = []*countNode{kn}
+		tag := rel.Tuple{n.C}
+		cur = &mapCursor{in: in, f: func(t rel.Tuple) rel.Tuple { return t.Concat(tag) }}
+	case *Join:
+		l, ln := b.cursor(n.L)
+		node.kids = []*countNode{ln}
+		if eqs := n.Cond.EqPairs(); len(eqs) > 0 {
+			rc, rn := b.cursor(n.E)
+			node.kids = append(node.kids, rn)
+			cur = &hashJoinCursor{left: l, buildC: rc, cond: n.Cond, eqs: eqs, meter: b.meter}
+		} else {
+			lj := &loopJoinCursor{left: l, cond: n.Cond, meter: b.meter}
+			if base, ok := n.E.(*Rel); ok {
+				// Replay the stored relation in place per probe tuple.
+				lj.base = b.baseRel(base)
+				node.kids = append(node.kids, &countNode{e: n.E})
+			} else {
+				rc, rn := b.cursor(n.E)
+				lj.buildC = rc
+				node.kids = append(node.kids, rn)
+			}
+			cur = lj
+		}
+	default:
+		panic(fmt.Sprintf("ra: unknown expression %T", e))
+	}
+	return &countCursor{in: cur, node: node}, node
+}
+
+// filterCursor streams the tuples of its input that satisfy keep.
+type filterCursor struct {
+	in   Cursor
+	keep func(rel.Tuple) bool
+}
+
+func (c *filterCursor) Next() (rel.Tuple, bool) {
+	for {
+		t, ok := c.in.Next()
+		if !ok {
+			return nil, false
+		}
+		if c.keep(t) {
+			return t, true
+		}
+	}
+}
+
+// mapCursor applies a per-tuple transformation (projection, constant
+// tagging). Deduplication is deferred to the consuming sink.
+type mapCursor struct {
+	in Cursor
+	f  func(rel.Tuple) rel.Tuple
+}
+
+func (c *mapCursor) Next() (rel.Tuple, bool) {
+	t, ok := c.in.Next()
+	if !ok {
+		return nil, false
+	}
+	return c.f(t), true
+}
+
+// drainInto pulls in to exhaustion into the sink relation, growing the
+// meter by one per tuple actually retained (duplicates cost nothing).
+func drainInto(in Cursor, sink *rel.Relation, m *residentMeter) {
+	for t, ok := in.Next(); ok; t, ok = in.Next() {
+		if sink.Add(t) {
+			m.grow(1)
+		}
+	}
+}
+
+// unionCursor is a blocking sink: both inputs are drained into one
+// deduplicated relation, which is then streamed out. Its state is
+// released once the output is exhausted.
+type unionCursor struct {
+	l, r   Cursor
+	arity  int
+	meter  *residentMeter
+	opened bool
+	out    *rel.Cursor
+	held   int
+}
+
+func (c *unionCursor) Next() (rel.Tuple, bool) {
+	if !c.opened {
+		c.opened = true
+		sink := rel.NewRelation(c.arity)
+		drainInto(c.l, sink, c.meter)
+		drainInto(c.r, sink, c.meter)
+		c.held = sink.Len()
+		c.out = sink.Cursor()
+	}
+	if c.out == nil {
+		return nil, false
+	}
+	t, ok := c.out.Next()
+	if !ok {
+		// Drop the sink with its accounting, so the released tuples
+		// really are reclaimable.
+		c.meter.release(c.held)
+		c.held = 0
+		c.out = nil
+	}
+	return t, ok
+}
+
+// diffCursor materializes its subtrahend (unless it is a stored
+// relation, which is probed in place) and streams the left input
+// through the membership filter. Output deduplication is deferred to
+// the consuming sink, so duplicate left tuples pass through.
+type diffCursor struct {
+	in     Cursor // left input, streaming
+	buildC Cursor // right input; nil when right is a stored relation
+	arity  int
+	right  *rel.Relation
+	meter  *residentMeter
+	opened bool
+	held   int
+}
+
+func (c *diffCursor) Next() (rel.Tuple, bool) {
+	if !c.opened {
+		c.opened = true
+		if c.buildC != nil {
+			c.right = rel.NewRelation(c.arity)
+			drainInto(c.buildC, c.right, c.meter)
+			c.held = c.right.Len()
+		}
+	}
+	for {
+		t, ok := c.in.Next()
+		if !ok {
+			c.meter.release(c.held)
+			c.held = 0
+			c.right = nil
+			return nil, false
+		}
+		if !c.right.Contains(t) {
+			return t, true
+		}
+	}
+}
+
+// hashJoinCursor materializes the right (build) input into a hash
+// index keyed by joinKeyer — the same interned-ID keying the
+// materialized evalJoin uses — and streams the left (probe) input
+// against it. Cond.Holds verifies the full condition — equality atoms,
+// residual atoms, hash collisions — on every candidate pair.
+type hashJoinCursor struct {
+	left   Cursor
+	buildC Cursor
+	cond   Cond
+	eqs    [][2]int
+	meter  *residentMeter
+
+	opened bool
+	keyer  *joinKeyer
+	index  map[uint64][]rel.Tuple
+	held   int
+
+	cur   rel.Tuple
+	cands []rel.Tuple
+	ci    int
+}
+
+func (c *hashJoinCursor) Next() (rel.Tuple, bool) {
+	if !c.opened {
+		c.opened = true
+		c.keyer = newJoinKeyer(c.eqs)
+		c.index = make(map[uint64][]rel.Tuple)
+		for t, ok := c.buildC.Next(); ok; t, ok = c.buildC.Next() {
+			k, _ := c.keyer.key(t, 1)
+			c.index[k] = append(c.index[k], t)
+			c.meter.grow(1)
+			c.held++
+		}
+	}
+	for {
+		for c.ci < len(c.cands) {
+			b := c.cands[c.ci]
+			c.ci++
+			if c.cond.Holds(c.cur, b) {
+				return c.cur.Concat(b), true
+			}
+		}
+		t, ok := c.left.Next()
+		if !ok {
+			c.meter.release(c.held)
+			c.held = 0
+			c.index, c.cands = nil, nil
+			return nil, false
+		}
+		c.cur = t
+		c.cands, c.ci = nil, 0
+		if k, ok := c.keyer.key(t, 0); ok {
+			c.cands = c.index[k]
+		}
+	}
+}
+
+// loopJoinCursor handles joins without equality atoms (cartesian
+// products and pure theta joins): the right input is replayed for
+// every left tuple — in place via a resettable cursor when it is a
+// stored relation, otherwise from a materialized buffer.
+type loopJoinCursor struct {
+	left   Cursor
+	buildC Cursor        // right child; nil when base is set
+	base   *rel.Relation // stored right relation, replayed in place
+	cond   Cond
+	meter  *residentMeter
+
+	opened  bool
+	right   []rel.Tuple
+	baseCur *rel.Cursor
+	held    int
+
+	cur  rel.Tuple
+	have bool
+	ri   int
+}
+
+func (c *loopJoinCursor) Next() (rel.Tuple, bool) {
+	if !c.opened {
+		c.opened = true
+		if c.base != nil {
+			c.baseCur = c.base.Cursor()
+		} else {
+			for t, ok := c.buildC.Next(); ok; t, ok = c.buildC.Next() {
+				c.right = append(c.right, t)
+				c.meter.grow(1)
+				c.held++
+			}
+		}
+	}
+	for {
+		if !c.have {
+			t, ok := c.left.Next()
+			if !ok {
+				c.meter.release(c.held)
+				c.held = 0
+				c.right = nil
+				return nil, false
+			}
+			c.cur, c.have, c.ri = t, true, 0
+			if c.baseCur != nil {
+				c.baseCur.Reset()
+			}
+		}
+		var b rel.Tuple
+		if c.baseCur != nil {
+			var ok bool
+			if b, ok = c.baseCur.Next(); !ok {
+				c.have = false
+				continue
+			}
+		} else {
+			if c.ri >= len(c.right) {
+				c.have = false
+				continue
+			}
+			b = c.right[c.ri]
+			c.ri++
+		}
+		if c.cond.Holds(c.cur, b) {
+			return c.cur.Concat(b), true
+		}
+	}
+}

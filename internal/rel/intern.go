@@ -68,11 +68,13 @@ func (in *Interner) Value(id uint32) Value { return in.vals[id] }
 // Len returns the number of distinct values interned.
 func (in *Interner) Len() int { return len(in.vals) }
 
-// hashIDs mixes a sequence of interned IDs into a 64-bit hash
+// HashIDs mixes a sequence of interned IDs into a 64-bit hash
 // (FNV-1a over the IDs followed by a splitmix64-style finisher). The
-// hash is used for bucketing only — equality is always confirmed on
-// the tuples themselves — so collisions cost time, never correctness.
-func hashIDs(ids []uint32) uint64 {
+// hash is used for bucketing only — callers must always confirm
+// equality on the tuples themselves — so collisions cost time, never
+// correctness. It backs the relation deduplication index and the
+// many-equality hash joins in internal/ra.
+func HashIDs(ids []uint32) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211

@@ -19,7 +19,7 @@ type Relation struct {
 	arity  int
 	tuples []Tuple
 	intern *Interner
-	index  map[uint64][]int32 // hashIDs of interned tuple -> candidate positions
+	index  map[uint64][]int32 // HashIDs of interned tuple -> candidate positions
 	idbuf  []uint32           // scratch for Add/Contains, avoids per-call allocation
 }
 
@@ -84,7 +84,7 @@ func (r *Relation) Add(t Tuple) bool {
 	for i, v := range t {
 		ids[i] = r.intern.Intern(v)
 	}
-	h := hashIDs(ids)
+	h := HashIDs(ids)
 	for _, pos := range r.index[h] {
 		if r.tuples[pos].Equal(t) {
 			return false
@@ -110,7 +110,7 @@ func (r *Relation) Contains(t Tuple) bool {
 		}
 		ids = append(ids, id)
 	}
-	for _, pos := range r.index[hashIDs(ids)] {
+	for _, pos := range r.index[HashIDs(ids)] {
 		if r.tuples[pos].Equal(t) {
 			return true
 		}
@@ -128,6 +128,36 @@ func (r *Relation) Tuples() []Tuple {
 	copy(ts, r.tuples)
 	return ts
 }
+
+// Cursor returns an iterator over the tuples in insertion order that
+// reads the relation's backing store directly, without the defensive
+// copy Tuples() makes. The yielded tuples are shared with the relation
+// and must not be mutated; the relation must not be modified while the
+// cursor is in use. This is the scan primitive of the streaming
+// evaluator in internal/ra.
+func (r *Relation) Cursor() *Cursor { return &Cursor{r: r} }
+
+// Cursor iterates a relation's tuples in insertion order. The zero
+// Cursor is not usable; obtain one from Relation.Cursor.
+type Cursor struct {
+	r *Relation
+	i int
+}
+
+// Next returns the next tuple, or (nil, false) when the cursor is
+// exhausted. The tuple shares storage with the relation: read-only.
+func (c *Cursor) Next() (Tuple, bool) {
+	if c.i >= len(c.r.tuples) {
+		return nil, false
+	}
+	t := c.r.tuples[c.i]
+	c.i++
+	return t, true
+}
+
+// Reset rewinds the cursor to the first tuple, so one cursor can drive
+// the inner side of a nested-loop join without re-copying the relation.
+func (c *Cursor) Reset() { c.i = 0 }
 
 // Sorted returns the tuples in lexicographic order as a fresh slice.
 func (r *Relation) Sorted() []Tuple {

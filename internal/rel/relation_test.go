@@ -160,3 +160,33 @@ func TestRelationSetAlgebraProperties(t *testing.T) {
 		t.Errorf("difference laws: %v", err)
 	}
 }
+
+// TestRelationCursor checks the copy-free iterator: insertion order,
+// exhaustion, Reset-driven rescans, and the empty relation.
+func TestRelationCursor(t *testing.T) {
+	r := FromTuples(2, Ints(1, 2), Ints(3, 4), Ints(1, 2), Ints(5, 6))
+	c := r.Cursor()
+	var got []Tuple
+	for tu, ok := c.Next(); ok; tu, ok = c.Next() {
+		got = append(got, tu)
+	}
+	want := r.Tuples()
+	if len(got) != len(want) {
+		t.Fatalf("cursor yielded %d tuples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("cursor tuple %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, ok := c.Next(); ok {
+		t.Error("exhausted cursor yielded a tuple")
+	}
+	c.Reset()
+	if tu, ok := c.Next(); !ok || !tu.Equal(Ints(1, 2)) {
+		t.Errorf("after Reset, first tuple = %v, %v", tu, ok)
+	}
+	if _, ok := NewRelation(3).Cursor().Next(); ok {
+		t.Error("cursor over empty relation yielded a tuple")
+	}
+}

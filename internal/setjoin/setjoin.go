@@ -25,11 +25,32 @@ import (
 
 // Group is one set-valued row: a key value and its associated element
 // set, sorted.
+//
+// Elems must be sorted and distinct for the containment machinery —
+// ContainsAll merges and ContainsElem binary-searches, so an unsorted
+// hand-built group silently misses elements there. Groups and NewGroup
+// establish the invariant; build hand-made groups through NewGroup
+// rather than struct literals. CanonicalKey alone is lenient: it
+// normalizes unsorted literal-built groups before encoding, because
+// equality joins are the documented consumer of ad-hoc probe groups.
 type Group struct {
 	Key   rel.Value
 	Elems []rel.Value // sorted, distinct
 	sig   uint64
 	ckey  string // canonical encoding, memoized by Groups
+}
+
+// NewGroup builds one group from a key and its elements, establishing
+// the same invariants Groups establishes for whole relations: Elems
+// sorted and deduplicated (into a private copy — the caller keeps
+// ownership of elems), signature and canonical key precomputed. Use it
+// for hand-built groups so every consumer, containment checks
+// included, sees normalized input.
+func NewGroup(key rel.Value, elems ...rel.Value) *Group {
+	g := &Group{Key: key, Elems: normalizeElems(append([]rel.Value(nil), elems...))}
+	g.sig = signature(g.Elems)
+	g.ckey = canonicalKey(g.Elems)
+	return g
 }
 
 // Groups converts a binary relation into its set-valued form, one
@@ -120,12 +141,39 @@ func (g *Group) ContainsAll(h *Group, cmp *int) bool {
 
 // CanonicalKey returns an injective encoding of the element set, used
 // by the equality joins. For groups built by Groups the encoding is
-// memoized; hand-built groups (zero ckey) compute it on the fly.
+// memoized; hand-built groups (zero ckey) compute it on the fly,
+// normalizing first — Elems is sorted and deduplicated into a copy if
+// needed — so a hand-built group with unsorted or repeated elements
+// encodes to the same key as the Groups-built group of the same set.
+// (Without the normalization, equality joins silently missed matches
+// on hand-built groups.)
 func (g *Group) CanonicalKey() string {
 	if g.ckey == "" && len(g.Elems) > 0 {
-		g.ckey = canonicalKey(g.Elems)
+		g.ckey = canonicalKey(normalizeElems(g.Elems))
 	}
 	return g.ckey
+}
+
+// normalizeElems returns elems sorted and deduplicated. The input is
+// returned as-is when already strictly increasing (the invariant Groups
+// establishes); otherwise a normalized copy is built, leaving the
+// caller's slice untouched.
+func normalizeElems(elems []rel.Value) []rel.Value {
+	for i := 1; i < len(elems); i++ {
+		if !elems[i-1].Less(elems[i]) {
+			c := make([]rel.Value, len(elems))
+			copy(c, elems)
+			sort.Slice(c, func(i, j int) bool { return c[i].Less(c[j]) })
+			out := c[:1]
+			for _, v := range c[1:] {
+				if !out[len(out)-1].Equal(v) {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+	}
+	return elems
 }
 
 func canonicalKey(elems []rel.Value) string {

@@ -248,3 +248,66 @@ func TestGroupsRejectsWrongArity(t *testing.T) {
 	}()
 	Groups(rel.NewRelation(3))
 }
+
+// TestCanonicalKeyHandBuiltGroups is the regression test for the
+// non-canonical encoding bug: a hand-built group with unsorted or
+// repeated Elems used to encode element order into CanonicalKey, so
+// equality joins missed matches between set-equal groups. The fallback
+// path must normalize (sort + dedup) before encoding.
+func TestCanonicalKeyHandBuiltGroups(t *testing.T) {
+	viaGroups := Groups(rel.FromTuples(2,
+		rel.Ints(0, 1), rel.Ints(0, 3), rel.Ints(0, 2),
+	))[0]
+	hand := &Group{Key: rel.Int(9), Elems: []rel.Value{rel.Int(3), rel.Int(1), rel.Int(2), rel.Int(3)}}
+	if got, want := hand.CanonicalKey(), viaGroups.CanonicalKey(); got != want {
+		t.Errorf("hand-built group canonical key %q, want %q", got, want)
+	}
+	// Normalization must not mutate the caller's slice.
+	if !hand.Elems[0].Equal(rel.Int(3)) || len(hand.Elems) != 4 {
+		t.Errorf("CanonicalKey mutated the hand-built Elems: %v", hand.Elems)
+	}
+	// Already-sorted hand-built groups take the copy-free path and
+	// agree with Groups.
+	sorted := &Group{Key: rel.Int(8), Elems: []rel.Value{rel.Int(1), rel.Int(2), rel.Int(3)}}
+	if sorted.CanonicalKey() != viaGroups.CanonicalKey() {
+		t.Errorf("sorted hand-built group disagrees with Groups-built key")
+	}
+	// Equality joins over hand-built unsorted groups now find the
+	// match.
+	r := []*Group{hand}
+	s := []*Group{sorted}
+	want := rel.FromTuples(2, rel.Ints(9, 8))
+	if got := Reference(r, s, Equal); !got.Equal(want) {
+		t.Errorf("Reference equality join on hand-built groups:\n%swant:\n%s", got, want)
+	}
+	for _, alg := range EqualityAlgorithms() {
+		if got, _ := alg.Join(r, s); !got.Equal(want) {
+			t.Errorf("%s on hand-built unsorted groups:\n%swant:\n%s", alg.Name(), got, want)
+		}
+	}
+}
+
+// TestNewGroupNormalizes checks the hand-built-group constructor: it
+// sorts and deduplicates into a private copy, so the containment
+// machinery (which assumes sorted Elems) works on ad-hoc groups too.
+func TestNewGroupNormalizes(t *testing.T) {
+	elems := []rel.Value{rel.Int(5), rel.Int(1), rel.Int(3), rel.Int(5)}
+	g := NewGroup(rel.Int(0), elems...)
+	if len(g.Elems) != 3 || !g.Elems[0].Equal(rel.Int(1)) || !g.Elems[2].Equal(rel.Int(5)) {
+		t.Fatalf("NewGroup elems = %v, want sorted distinct (1 3 5)", g.Elems)
+	}
+	if !elems[0].Equal(rel.Int(5)) {
+		t.Errorf("NewGroup mutated the caller's slice: %v", elems)
+	}
+	if !g.ContainsElem(rel.Int(5)) {
+		t.Errorf("ContainsElem(5) false on NewGroup-built group")
+	}
+	var cmp int
+	if !g.ContainsAll(NewGroup(rel.Int(1), rel.Int(5), rel.Int(1)), &cmp) {
+		t.Errorf("ContainsAll missed a subset on NewGroup-built groups")
+	}
+	viaGroups := Groups(rel.FromTuples(2, rel.Ints(0, 5), rel.Ints(0, 1), rel.Ints(0, 3)))[0]
+	if g.CanonicalKey() != viaGroups.CanonicalKey() {
+		t.Errorf("NewGroup canonical key %q disagrees with Groups %q", g.CanonicalKey(), viaGroups.CanonicalKey())
+	}
+}
