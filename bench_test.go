@@ -411,6 +411,72 @@ func BenchmarkStreamedDivision(b *testing.B) {
 	})
 }
 
+// BenchmarkStreamedDedupFilter measures the ROADMAP's time-for-memory
+// trade on a projection feeding a join's probe side: R has 40 tuples
+// per group key, so π1(R) emits every key 40 times and the deferred-
+// dedup executor replays the join's candidate scan once per duplicate
+// probe (40× the probes), while the opt-in pipelined dedup filter
+// (StreamOptions.DedupProjections) spends one resident tuple per
+// distinct key to probe once. The max-resident metrics quantify the
+// memory side of the trade.
+func BenchmarkStreamedDedupFilter(b *testing.B) {
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 2, "S": 2}))
+	for a := 0; a < 50; a++ {
+		for j := 0; j < 40; j++ {
+			d.AddInts("R", int64(a), int64(1000+j))
+		}
+		for j := 0; j < 20; j++ {
+			d.AddInts("S", int64(a), int64(j))
+		}
+	}
+	e := ra.NewJoin(ra.NewProject([]int{1}, ra.R("R", 2)), ra.Eq(1, 1), ra.R("S", 2))
+	for _, cfg := range []struct {
+		name string
+		opts ra.StreamOptions
+	}{
+		{"replay", ra.StreamOptions{}},
+		{"dedup-filter", ra.StreamOptions{DedupProjections: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var tr *ra.Trace
+			for i := 0; i < b.N; i++ {
+				_, tr = ra.EvalStreamedTracedOpts(e, d, cfg.opts)
+			}
+			b.ReportMetric(float64(tr.MaxResident), "max-resident")
+			b.ReportMetric(float64(tr.TotalTuples), "total-flow")
+		})
+	}
+}
+
+// BenchmarkStreamedSemijoinAlgebra compares the materialized and
+// streaming SA executors on the ST2 antijoin shape, reporting each
+// one's memory observable.
+func BenchmarkStreamedSemijoinAlgebra(b *testing.B) {
+	r, s := benchDivisionInput(400)
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 2, "S": 1}))
+	for _, t := range r.Tuples() {
+		d.Add("R", t)
+	}
+	for _, t := range s.Tuples() {
+		d.Add("S", t)
+	}
+	e := sa.NewProject([]int{1}, sa.NewAntijoin(sa.R("R", 2), ra.Eq(2, 1), sa.R("S", 1)))
+	b.Run("materialized", func(b *testing.B) {
+		var tr *sa.Trace
+		for i := 0; i < b.N; i++ {
+			_, tr = sa.EvalTraced(e, d)
+		}
+		b.ReportMetric(float64(tr.MaxIntermediate), "max-intermediate")
+	})
+	b.Run("streamed", func(b *testing.B) {
+		var tr *sa.Trace
+		for i := 0; i < b.N; i++ {
+			_, tr = sa.EvalStreamedTraced(e, d)
+		}
+		b.ReportMetric(float64(tr.MaxResident), "max-resident")
+	})
+}
+
 // BenchmarkBisimScaling measures the bisimilarity decision procedure
 // on growing chain databases (an ablation for the fixpoint algorithm).
 func BenchmarkBisimScaling(b *testing.B) {

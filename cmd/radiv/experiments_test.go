@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -30,7 +31,7 @@ func TestExperimentIDsUnique(t *testing.T) {
 			t.Errorf("experiment %s has no title", e.ID)
 		}
 	}
-	for _, id := range []string{"F1", "F2", "F3", "F4", "F5", "F6", "E3", "T8", "T17", "P26", "SJ1", "SJ2", "G5", "ST1"} {
+	for _, id := range []string{"F1", "F2", "F3", "F4", "F5", "F6", "E3", "T8", "T17", "P26", "SJ1", "SJ2", "G5", "ST1", "ST2"} {
 		if !seen[id] {
 			t.Errorf("experiment %s missing from registry", id)
 		}
@@ -68,6 +69,38 @@ func TestExperimentOutputsCarryTheClaims(t *testing.T) {
 	}
 	if out := get("ST1"); !strings.Contains(out, "resident") || strings.Contains(out, "diverges") {
 		t.Errorf("ST1 lost the resident-vs-intermediate claim:\n%s", out)
+	}
+	if out := get("ST2"); !strings.Contains(out, "both ≈ 1: linear") || strings.Contains(out, "diverges") ||
+		!strings.Contains(out, "byte for byte") {
+		t.Errorf("ST2 lost the linear-resident or cursor-fed parallel claim:\n%s", out)
+	}
+}
+
+// TestST2ResidentExponentsLinear parses the fitted exponents out of
+// the ST2 report and pins them near 1, the acceptance bar for the
+// streamed SA/XRA executors.
+func TestST2ResidentExponentsLinear(t *testing.T) {
+	var buf bytes.Buffer
+	for _, e := range experiments() {
+		if e.ID == "ST2" {
+			e.Run(&buf)
+		}
+	}
+	out := buf.String()
+	idx := strings.Index(out, "resident growth exponents:")
+	if idx < 0 {
+		t.Fatalf("ST2 output lacks the exponent line (divergence?):\n%s", out)
+	}
+	var saExp, xraExp float64
+	if _, err := fmt.Sscanf(out[idx:],
+		"resident growth exponents: SA %f, γ-division %f", &saExp, &xraExp); err != nil {
+		t.Fatalf("cannot parse exponents from ST2 output: %v\n%s", err, out)
+	}
+	if saExp < 0.7 || saExp > 1.3 {
+		t.Errorf("SA streamed resident exponent %.2f, want ≈ 1.0", saExp)
+	}
+	if xraExp < 0.7 || xraExp > 1.3 {
+		t.Errorf("γ-division streamed resident exponent %.2f, want ≈ 1.0", xraExp)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"radiv/internal/division"
 	"radiv/internal/ra"
+	"radiv/internal/rel"
 )
 
 // The quickstart's core path: students 1 and 3 pass all required
@@ -24,6 +25,16 @@ func TestQuickstartCorePath(t *testing.T) {
 	par, _ := division.ParallelHash{Workers: 4}.Divide(d.Rel("R"), d.Rel("S"), division.Containment)
 	if !hash.Equal(div) || !par.Equal(div) {
 		t.Errorf("division algorithms disagree:\nRA %vhash %vparallel %v", div, hash, par)
+	}
+	// Cursor-fed parallel division at two workers (the configuration
+	// CI pins): byte-identical to the sequential hash emission.
+	cur := division.ParallelHash{Workers: 2}.DivideStream(d.Rel("R").Cursor(), d.Rel("S"), division.Containment)
+	streamed := rel.NewRelation(1)
+	for tp, ok := cur.Next(); ok; tp, ok = cur.Next() {
+		streamed.Add(tp)
+	}
+	if !streamed.Equal(hash) || streamed.String() != hash.String() {
+		t.Errorf("cursor-fed division diverges:\nstreamed %vhash %v", streamed, hash)
 	}
 }
 

@@ -1,6 +1,8 @@
 package division
 
 import (
+	"fmt"
+
 	"radiv/internal/engine"
 	"radiv/internal/rel"
 )
@@ -103,4 +105,97 @@ func (p ParallelHash) Divide(r, s *rel.Relation, sem Semantics) (*rel.Relation, 
 		}
 	}
 	return out, st
+}
+
+// DivideStream is cursor-fed hash division: the dividend arrives as a
+// stream of binary tuples and flows through the engine exchange —
+// router goroutine, bounded per-partition channels, one partition per
+// worker — so no partition index is materialized and partitions divide
+// while the producer is still emitting. Each partition runs the Graefe
+// bitmap scheme on its shard against the shared read-only divisor
+// dictionary, exactly as Divide does.
+//
+// The result is produced as a cursor, in the dividend's group
+// first-occurrence order — the order the sequential Hash algorithm
+// emits — for every worker count: the router's group dictionary
+// assigns dense IDs in first-occurrence order, and the merge walks the
+// IDs in order, asking the owning partition whether the group
+// qualified. Qualification is only known once a partition's shard is
+// exhausted, so emission starts after the input is consumed; the
+// *input* side is where the pipelining happens (the output of division
+// is one tuple per qualifying group, bounded by the number of groups).
+//
+// The returned cursor must be drained to exhaustion. With one worker
+// the stream is consumed inline and delegated to the sequential Hash.
+func (p ParallelHash) DivideStream(rc engine.Cursor, s *rel.Relation, sem Semantics) engine.Cursor {
+	if s.Arity() != 1 {
+		panic(fmt.Sprintf("division: S has arity %d, want 1", s.Arity()))
+	}
+	ex := engine.Executor{Workers: p.Workers}
+	if ex.WorkerCount() <= 1 {
+		// One worker cannot pipeline against itself: drain and run the
+		// sequential algorithm, then stream its result.
+		r := rel.NewRelation(2)
+		for t, ok := rc.Next(); ok; t, ok = rc.Next() {
+			r.Add(t)
+		}
+		res, _ := Hash{}.Divide(r, s, sem)
+		return res.Cursor()
+	}
+	out := make(chan rel.Tuple, 64)
+	go func() {
+		defer close(out)
+		slots := rel.NewInterner() // S value -> dense slot, shared read-only
+		for _, t := range s.Tuples() {
+			slots.Intern(t[0])
+		}
+		need := slots.Len()
+		words := (need + 63) / 64
+		gids := rel.NewInterner() // group value -> ID, router-owned while routing
+		qualified := make([]map[rel.Value]bool, ex.WorkerCount())
+		parts := ex.StreamPartitioned(rc, func(t rel.Tuple) int {
+			if len(t) != 2 {
+				panic(fmt.Sprintf("division: R tuple has arity %d, want 2", len(t)))
+			}
+			return engine.PartOf(gids.Intern(t[0]), ex.WorkerCount())
+		}, func(q int, shard engine.Cursor) {
+			// Workers group by value locally — rel.Value is comparable —
+			// and never touch the router's dictionary, which is still
+			// being written while shards flow.
+			local := make(map[rel.Value]*divGroup)
+			for t, ok := shard.Next(); ok; t, ok = shard.Next() {
+				g := local[t[0]]
+				if g == nil {
+					g = &divGroup{rep: t[0], seen: make([]uint64, words)}
+					local[t[0]] = g
+				}
+				if slot, ok := slots.ID(t[1]); ok {
+					g.mark(slot)
+				} else {
+					g.extras++
+				}
+			}
+			q4 := make(map[rel.Value]bool, len(local))
+			for v, g := range local {
+				if g.hits != need {
+					continue
+				}
+				if sem == Equality && g.extras > 0 {
+					continue
+				}
+				q4[v] = true
+			}
+			qualified[q] = q4
+		})
+		// All workers done (StreamPartitioned returned): the dictionary
+		// is complete and quiescent. Emit in group-ID order == group
+		// first-occurrence order == sequential Hash emission order.
+		for gid := 0; gid < gids.Len(); gid++ {
+			v := gids.Value(uint32(gid))
+			if qualified[engine.PartOf(uint32(gid), parts)][v] {
+				out <- rel.Tuple{v}
+			}
+		}
+	}()
+	return engine.ChanCursor{C: out}
 }

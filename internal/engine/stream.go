@@ -1,0 +1,108 @@
+package engine
+
+// This file teaches the partitioned parallel executor to consume and
+// produce cursors, so operators built on it pipeline end-to-end
+// instead of materializing at partition boundaries. The shape is the
+// classic Volcano exchange operator: a router goroutine pulls the
+// input cursor (sequentially — pull is single-consumer by contract)
+// and routes each tuple through a bounded channel to its partition's
+// worker, which consumes its shard as a cursor while the router is
+// still producing. Bounded channels give backpressure, so at any
+// moment only O(workers × channel capacity) tuples sit between
+// producer and consumers.
+//
+// Deadlock freedom: StreamPartitioned uses exactly one partition per
+// worker, so every channel has a live consumer from the start — the
+// router can always make progress once a channel drains, and workers
+// always see their channel closed when the input is exhausted. (With
+// more partitions than workers, a bounded channel for an unclaimed
+// partition could fill while every worker waits for input the router
+// cannot deliver.) The output-side helper, OrderedMerge, has no such
+// constraint: its channels are drained by an independent consumer, so
+// producers may outnumber workers freely.
+
+import (
+	"radiv/internal/rel"
+)
+
+// Cursor is the engine's pull-based tuple iterator. It is structurally
+// identical to ra.Cursor and to *rel.Cursor, so cursors from the
+// streaming evaluators and from stored relations satisfy it without
+// adaptation.
+type Cursor interface {
+	Next() (rel.Tuple, bool)
+}
+
+// ChanCursor adapts a channel to a Cursor: Next blocks until a tuple
+// arrives or the channel closes.
+type ChanCursor struct{ C <-chan rel.Tuple }
+
+// Next implements Cursor.
+func (c ChanCursor) Next() (rel.Tuple, bool) {
+	t, ok := <-c.C
+	return t, ok
+}
+
+// streamChanCap is the bounded-channel capacity of the exchange: large
+// enough to amortize channel synchronization, small enough that the
+// in-flight buffer stays a rounding error next to any build table.
+const streamChanCap = 128
+
+// StreamPartitioned consumes in on a router goroutine, assigns every
+// tuple a partition with route (which must return a value in [0,
+// parts) for the parts value returned; it is called on the router
+// goroutine, so it may intern into shared dictionaries safely), and
+// runs work(q, shard) for each partition concurrently on the worker
+// pool, where shard yields exactly the tuples routed to q, in input
+// order. It returns the number of partitions used — one per worker —
+// after every worker has finished. With one worker it degenerates to
+// work(0, in) on the calling goroutine: no routing, no channels, no
+// goroutines.
+func (e Executor) StreamPartitioned(in Cursor, route func(rel.Tuple) int, work func(q int, shard Cursor)) int {
+	w := e.WorkerCount()
+	if w <= 1 {
+		work(0, in)
+		return 1
+	}
+	chans := make([]chan rel.Tuple, w)
+	for q := range chans {
+		chans[q] = make(chan rel.Tuple, streamChanCap)
+	}
+	go func() {
+		for t, ok := in.Next(); ok; t, ok = in.Next() {
+			chans[route(t)] <- t
+		}
+		for _, ch := range chans {
+			close(ch)
+		}
+	}()
+	e.Run(w, func(q int) { work(q, ChanCursor{C: chans[q]}) })
+	return w
+}
+
+// OrderedMerge returns a cursor that drains the given channels in
+// slice order: all of channel 0 (until it closes), then channel 1, and
+// so on. Producers fill their own channel concurrently and close it
+// when done, so the consumer streams partition 0's results while later
+// partitions are still computing — the cursor-producing side of the
+// exchange. The cursor must be drained to exhaustion, or producers
+// blocked on full channels leak.
+func OrderedMerge(chans []chan rel.Tuple) Cursor {
+	return &orderedMergeCursor{chans: chans}
+}
+
+type orderedMergeCursor struct {
+	chans []chan rel.Tuple
+	i     int
+}
+
+// Next implements Cursor.
+func (c *orderedMergeCursor) Next() (rel.Tuple, bool) {
+	for c.i < len(c.chans) {
+		if t, ok := <-c.chans[c.i]; ok {
+			return t, true
+		}
+		c.i++
+	}
+	return nil, false
+}

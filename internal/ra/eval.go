@@ -190,28 +190,31 @@ func eval(e Expr, d *rel.Database, tr *Trace) *rel.Relation {
 	return out
 }
 
-// joinKeyer computes 64-bit hash keys over the equality columns of a
-// join condition, shared by the materialized and streaming hash joins.
-// Values are interned into a per-join dictionary; with at most two
-// equality atoms the IDs pack exactly (collision-free) into the key,
-// with more they are mixed by rel.HashIDs — collisions only cost extra
-// Cond.Holds verifications, never correctness, since both joins check
-// the full condition on every candidate pair.
-type joinKeyer struct {
+// JoinKeyer computes 64-bit hash keys over the equality columns of a
+// join condition, shared by the materialized and streaming hash joins
+// (and, exported, by the sibling algebras' semijoin and join
+// operators). Values are interned into a per-join dictionary; with at
+// most two equality atoms the IDs pack exactly (collision-free) into
+// the key, with more they are mixed by rel.HashIDs — collisions only
+// cost extra Cond.Holds verifications, never correctness, since every
+// consumer checks the full condition on each candidate pair.
+type JoinKeyer struct {
 	eqs  [][2]int
 	dict *rel.Interner
 	ids  []uint32
 }
 
-func newJoinKeyer(eqs [][2]int) *joinKeyer {
-	return &joinKeyer{eqs: eqs, dict: rel.NewInterner(), ids: make([]uint32, len(eqs))}
+// NewJoinKeyer builds a keyer over the given equality pairs (as
+// returned by Cond.EqPairs: 1-based left column, 1-based right column).
+func NewJoinKeyer(eqs [][2]int) *JoinKeyer {
+	return &JoinKeyer{eqs: eqs, dict: rel.NewInterner(), ids: make([]uint32, len(eqs))}
 }
 
-// key computes the hash key of t's equality columns; side 1 interns
+// Key computes the hash key of t's equality columns; side 1 interns
 // (build side), side 0 looks up only (probe side) and reports values
 // missing from the dictionary, which cannot participate in any
 // equality match.
-func (k *joinKeyer) key(t rel.Tuple, side int) (uint64, bool) {
+func (k *JoinKeyer) Key(t rel.Tuple, side int) (uint64, bool) {
 	for i, p := range k.eqs {
 		v := t[p[side]-1]
 		if side == 1 {
@@ -252,14 +255,14 @@ func evalJoin(j *Join, r1, r2 *rel.Relation) *rel.Relation {
 		}
 		return out
 	}
-	kr := newJoinKeyer(eqs)
+	kr := NewJoinKeyer(eqs)
 	index := make(map[uint64][]rel.Tuple, r2.Len())
 	for _, b := range r2t {
-		k, _ := kr.key(b, 1)
+		k, _ := kr.Key(b, 1)
 		index[k] = append(index[k], b)
 	}
 	for _, a := range r1t {
-		k, ok := kr.key(a, 0)
+		k, ok := kr.Key(a, 0)
 		if !ok {
 			continue
 		}

@@ -23,6 +23,11 @@ package ra
 // moment. On the classical division expression the flow stays
 // quadratic — the paper proves it must — but the resident footprint
 // drops to linear, because the quadratic product is never stored.
+//
+// The building blocks — Meter, OpenStream, the Cursor interface — are
+// exported so the sibling algebras (internal/sa, internal/xra) can run
+// their own streaming evaluators on the same substrate and share one
+// resident meter across a mixed plan.
 
 import (
 	"fmt"
@@ -36,6 +41,21 @@ import (
 // relations and must be treated as read-only.
 type Cursor interface {
 	Next() (rel.Tuple, bool)
+}
+
+// StreamOptions tunes the streaming executor.
+type StreamOptions struct {
+	// DedupProjections inserts a pipelined hash-set filter after every
+	// projection, so duplicate projected tuples are dropped where they
+	// arise instead of flowing downstream. By default deduplication is
+	// deferred to the consuming sink: that keeps projection state at
+	// zero, but a projection feeding a join's probe side then replays
+	// the join's candidate scan once per duplicate probe tuple (k× the
+	// probes on keys with k source tuples). The filter is the measured
+	// time-for-memory trade the ROADMAP asked for: it spends one
+	// resident tuple per distinct projected tuple to make every probe
+	// unique (see BenchmarkStreamedDedupFilter for the measurement).
+	DedupProjections bool
 }
 
 // EvalStreamed evaluates the expression with the streaming executor
@@ -55,10 +75,17 @@ func EvalStreamed(e Expr, d *rel.Database) *rel.Relation {
 // operator graph for them. MaxResident is filled in (see Trace). The
 // expression is validated first, as in EvalTraced.
 func EvalStreamedTraced(e Expr, d *rel.Database) (*rel.Relation, *Trace) {
+	return EvalStreamedTracedOpts(e, d, StreamOptions{})
+}
+
+// EvalStreamedTracedOpts is EvalStreamedTraced with explicit executor
+// options.
+func EvalStreamedTracedOpts(e Expr, d *rel.Database, opts StreamOptions) (*rel.Relation, *Trace) {
 	if err := Validate(e); err != nil {
 		panic("ra: invalid expression: " + err.Error())
 	}
-	b := &streamBuilder{d: d, meter: &residentMeter{}}
+	meter := &Meter{}
+	b := &streamBuilder{d: d, meter: meter, opts: opts}
 	out := rel.NewRelation(e.Arity())
 	var root *countNode
 	if u, ok := e.(*Union); ok {
@@ -87,24 +114,62 @@ func EvalStreamedTraced(e Expr, d *rel.Database) (*rel.Relation, *Trace) {
 	}
 	tr := &Trace{}
 	root.record(tr)
-	tr.MaxResident = b.meter.max
+	tr.MaxResident = meter.Max()
 	return out, tr
 }
 
-// residentMeter tracks the number of tuples currently held in operator
-// state across the whole plan, and the peak. The final result relation
-// is not counted: every evaluator must hold its output, so MaxResident
-// measures only the executor's auxiliary state.
-type residentMeter struct{ cur, max int }
+// Meter tracks the number of tuples currently held in operator state
+// across a whole streaming plan, and the peak. The final result
+// relation is not counted: every evaluator must hold its output, so
+// the maximum measures only the executor's auxiliary state. A single
+// Meter may be shared across algebras (the xra evaluator threads its
+// meter through wrapped RA subplans via OpenStream), so the peak is
+// the true concurrent footprint of the mixed plan.
+type Meter struct{ cur, max int }
 
-func (m *residentMeter) grow(n int) {
+// Grow records n more tuples entering operator state.
+func (m *Meter) Grow(n int) {
 	m.cur += n
 	if m.cur > m.max {
 		m.max = m.cur
 	}
 }
 
-func (m *residentMeter) release(n int) { m.cur -= n }
+// Release records n tuples leaving operator state.
+func (m *Meter) Release(n int) { m.cur -= n }
+
+// Max returns the peak number of concurrently held tuples so far.
+func (m *Meter) Max() int { return m.max }
+
+// Stream is a compiled streaming plan handle, the hook through which
+// the extended algebra pipelines wrapped pure-RA subexpressions: the
+// caller pulls tuples with Next and, once done, folds the plan's flow
+// counts into its own trace with EachStep. The meter passed to
+// OpenStream accumulates the subplan's resident state alongside the
+// caller's own.
+type Stream struct {
+	cur  Cursor
+	root *countNode
+}
+
+// OpenStream validates e and compiles it into a streaming plan over d,
+// charging operator state to m.
+func OpenStream(e Expr, d *rel.Database, m *Meter, opts StreamOptions) *Stream {
+	if err := Validate(e); err != nil {
+		panic("ra: invalid expression: " + err.Error())
+	}
+	b := &streamBuilder{d: d, meter: m, opts: opts}
+	cur, root := b.cursor(e)
+	return &Stream{cur: cur, root: root}
+}
+
+// Next implements Cursor.
+func (s *Stream) Next() (rel.Tuple, bool) { return s.cur.Next() }
+
+// EachStep visits the plan's flow counts in post-order (children
+// before parents), matching the materialized evaluator's step order.
+// Call it only after the stream is exhausted.
+func (s *Stream) EachStep(f func(e Expr, n int)) { s.root.each(f) }
 
 // countNode mirrors one occurrence of an expression node in the plan.
 // A subexpression shared between two places in the tree gets two
@@ -116,13 +181,18 @@ type countNode struct {
 	kids []*countNode
 }
 
+// each visits the subtree in post-order.
+func (c *countNode) each(f func(Expr, int)) {
+	for _, k := range c.kids {
+		k.each(f)
+	}
+	f(c.e, c.n)
+}
+
 // record appends the subtree's steps to the trace in post-order,
 // matching the materialized evaluator's step order.
 func (c *countNode) record(tr *Trace) {
-	for _, k := range c.kids {
-		k.record(tr)
-	}
-	tr.record(c.e, c.n)
+	c.each(func(e Expr, n int) { tr.record(e, n) })
 }
 
 // countCursor wraps an operator cursor and counts its emissions into
@@ -143,7 +213,8 @@ func (c *countCursor) Next() (rel.Tuple, bool) {
 // streamBuilder translates an expression tree into a cursor plan.
 type streamBuilder struct {
 	d     *rel.Database
-	meter *residentMeter
+	meter *Meter
+	opts  StreamOptions
 }
 
 // baseRel resolves a relation-name node against the database, with the
@@ -159,6 +230,7 @@ func (b *streamBuilder) baseRel(n *Rel) *rel.Relation {
 func (b *streamBuilder) cursor(e Expr) (Cursor, *countNode) {
 	node := &countNode{e: e}
 	var cur Cursor
+	dedup := false
 	switch n := e.(type) {
 	case *Rel:
 		cur = b.baseRel(n).Cursor()
@@ -187,6 +259,7 @@ func (b *streamBuilder) cursor(e Expr) (Cursor, *countNode) {
 		node.kids = []*countNode{kn}
 		cols := n.Cols
 		cur = &mapCursor{in: in, f: func(t rel.Tuple) rel.Tuple { return t.Project(cols) }}
+		dedup = b.opts.DedupProjections
 	case *Select:
 		in, kn := b.cursor(n.E)
 		node.kids = []*countNode{kn}
@@ -225,7 +298,68 @@ func (b *streamBuilder) cursor(e Expr) (Cursor, *countNode) {
 	default:
 		panic(fmt.Sprintf("ra: unknown expression %T", e))
 	}
-	return &countCursor{in: cur, node: node}, node
+	counted := &countCursor{in: cur, node: node}
+	if dedup {
+		// The filter sits outside the count, so the node's flow number
+		// still reports what the operator emitted (duplicates included)
+		// and only the downstream consumers see the deduplicated stream.
+		return &dedupCursor{in: counted, arity: e.Arity(), meter: b.meter}, node
+	}
+	return counted, node
+}
+
+// The constructors below expose the generic operator cursors to the
+// sibling algebras' streaming evaluators (internal/sa, internal/xra),
+// which differ from pure RA only in their algebra-specific operators
+// (semijoins, γ): one implementation of filtering, mapping, sinks and
+// joins serves all three executors.
+
+// NewFilterCursor streams the tuples of in that satisfy keep.
+func NewFilterCursor(in Cursor, keep func(rel.Tuple) bool) Cursor {
+	return &filterCursor{in: in, keep: keep}
+}
+
+// NewMapCursor applies f to every tuple of in (projection, constant
+// tagging); deduplication is deferred to the consuming sink.
+func NewMapCursor(in Cursor, f func(rel.Tuple) rel.Tuple) Cursor {
+	return &mapCursor{in: in, f: f}
+}
+
+// DrainInto pulls in to exhaustion into sink, charging m one tuple per
+// retained (non-duplicate) addition.
+func DrainInto(in Cursor, sink *rel.Relation, m *Meter) { drainInto(in, sink, m) }
+
+// NewUnionSinkCursor drains both inputs into one deduplicated sink and
+// streams it out, releasing the held state at exhaustion.
+func NewUnionSinkCursor(l, r Cursor, arity int, m *Meter) Cursor {
+	return &unionCursor{l: l, r: r, arity: arity, meter: m}
+}
+
+// NewDiffCursor streams left through a membership filter against the
+// subtrahend: a stored relation is probed in place (holding nothing),
+// otherwise buildC is materialized first. Exactly one of buildC and
+// stored must be non-nil.
+func NewDiffCursor(left Cursor, buildC Cursor, stored *rel.Relation, arity int, m *Meter) Cursor {
+	return &diffCursor{in: left, buildC: buildC, right: stored, arity: arity, meter: m}
+}
+
+// NewHashJoinCursor builds the equality-keyed hash join: the build
+// side is materialized into an interned-ID index, the left side
+// streams against it, and the full condition is verified on every
+// candidate. cond must contain at least one equality atom.
+func NewHashJoinCursor(left, build Cursor, cond Cond, m *Meter) Cursor {
+	eqs := cond.EqPairs()
+	if len(eqs) == 0 {
+		panic("ra: NewHashJoinCursor requires an equality atom")
+	}
+	return &hashJoinCursor{left: left, buildC: build, cond: cond, eqs: eqs, meter: m}
+}
+
+// NewLoopJoinCursor replays the right side per probe tuple — in place
+// when stored is set, otherwise from a buffer materialized from
+// buildC. Exactly one of buildC and stored must be non-nil.
+func NewLoopJoinCursor(left Cursor, buildC Cursor, stored *rel.Relation, cond Cond, m *Meter) Cursor {
+	return &loopJoinCursor{left: left, buildC: buildC, base: stored, cond: cond, meter: m}
 }
 
 // filterCursor streams the tuples of its input that satisfy keep.
@@ -261,12 +395,45 @@ func (c *mapCursor) Next() (rel.Tuple, bool) {
 	return c.f(t), true
 }
 
+// dedupCursor is the opt-in pipelined dedup filter
+// (StreamOptions.DedupProjections): it holds a hash set of the tuples
+// seen so far and passes each distinct tuple through exactly once. The
+// set is operator state — one resident tuple per distinct input — and
+// is released at exhaustion.
+type dedupCursor struct {
+	in    Cursor
+	arity int
+	meter *Meter
+	seen  *rel.Relation
+	held  int
+}
+
+func (c *dedupCursor) Next() (rel.Tuple, bool) {
+	if c.seen == nil && c.held == 0 {
+		c.seen = rel.NewRelation(c.arity)
+	}
+	for {
+		t, ok := c.in.Next()
+		if !ok {
+			c.meter.Release(c.held)
+			c.held = 0
+			c.seen = nil
+			return nil, false
+		}
+		if c.seen.Add(t) {
+			c.meter.Grow(1)
+			c.held++
+			return t, true
+		}
+	}
+}
+
 // drainInto pulls in to exhaustion into the sink relation, growing the
 // meter by one per tuple actually retained (duplicates cost nothing).
-func drainInto(in Cursor, sink *rel.Relation, m *residentMeter) {
+func drainInto(in Cursor, sink *rel.Relation, m *Meter) {
 	for t, ok := in.Next(); ok; t, ok = in.Next() {
 		if sink.Add(t) {
-			m.grow(1)
+			m.Grow(1)
 		}
 	}
 }
@@ -277,7 +444,7 @@ func drainInto(in Cursor, sink *rel.Relation, m *residentMeter) {
 type unionCursor struct {
 	l, r   Cursor
 	arity  int
-	meter  *residentMeter
+	meter  *Meter
 	opened bool
 	out    *rel.Cursor
 	held   int
@@ -299,7 +466,7 @@ func (c *unionCursor) Next() (rel.Tuple, bool) {
 	if !ok {
 		// Drop the sink with its accounting, so the released tuples
 		// really are reclaimable.
-		c.meter.release(c.held)
+		c.meter.Release(c.held)
 		c.held = 0
 		c.out = nil
 	}
@@ -315,7 +482,7 @@ type diffCursor struct {
 	buildC Cursor // right input; nil when right is a stored relation
 	arity  int
 	right  *rel.Relation
-	meter  *residentMeter
+	meter  *Meter
 	opened bool
 	held   int
 }
@@ -332,7 +499,7 @@ func (c *diffCursor) Next() (rel.Tuple, bool) {
 	for {
 		t, ok := c.in.Next()
 		if !ok {
-			c.meter.release(c.held)
+			c.meter.Release(c.held)
 			c.held = 0
 			c.right = nil
 			return nil, false
@@ -344,7 +511,7 @@ func (c *diffCursor) Next() (rel.Tuple, bool) {
 }
 
 // hashJoinCursor materializes the right (build) input into a hash
-// index keyed by joinKeyer — the same interned-ID keying the
+// index keyed by JoinKeyer — the same interned-ID keying the
 // materialized evalJoin uses — and streams the left (probe) input
 // against it. Cond.Holds verifies the full condition — equality atoms,
 // residual atoms, hash collisions — on every candidate pair.
@@ -353,10 +520,10 @@ type hashJoinCursor struct {
 	buildC Cursor
 	cond   Cond
 	eqs    [][2]int
-	meter  *residentMeter
+	meter  *Meter
 
 	opened bool
-	keyer  *joinKeyer
+	keyer  *JoinKeyer
 	index  map[uint64][]rel.Tuple
 	held   int
 
@@ -368,12 +535,12 @@ type hashJoinCursor struct {
 func (c *hashJoinCursor) Next() (rel.Tuple, bool) {
 	if !c.opened {
 		c.opened = true
-		c.keyer = newJoinKeyer(c.eqs)
+		c.keyer = NewJoinKeyer(c.eqs)
 		c.index = make(map[uint64][]rel.Tuple)
 		for t, ok := c.buildC.Next(); ok; t, ok = c.buildC.Next() {
-			k, _ := c.keyer.key(t, 1)
+			k, _ := c.keyer.Key(t, 1)
 			c.index[k] = append(c.index[k], t)
-			c.meter.grow(1)
+			c.meter.Grow(1)
 			c.held++
 		}
 	}
@@ -387,14 +554,14 @@ func (c *hashJoinCursor) Next() (rel.Tuple, bool) {
 		}
 		t, ok := c.left.Next()
 		if !ok {
-			c.meter.release(c.held)
+			c.meter.Release(c.held)
 			c.held = 0
 			c.index, c.cands = nil, nil
 			return nil, false
 		}
 		c.cur = t
 		c.cands, c.ci = nil, 0
-		if k, ok := c.keyer.key(t, 0); ok {
+		if k, ok := c.keyer.Key(t, 0); ok {
 			c.cands = c.index[k]
 		}
 	}
@@ -409,7 +576,7 @@ type loopJoinCursor struct {
 	buildC Cursor        // right child; nil when base is set
 	base   *rel.Relation // stored right relation, replayed in place
 	cond   Cond
-	meter  *residentMeter
+	meter  *Meter
 
 	opened  bool
 	right   []rel.Tuple
@@ -429,7 +596,7 @@ func (c *loopJoinCursor) Next() (rel.Tuple, bool) {
 		} else {
 			for t, ok := c.buildC.Next(); ok; t, ok = c.buildC.Next() {
 				c.right = append(c.right, t)
-				c.meter.grow(1)
+				c.meter.Grow(1)
 				c.held++
 			}
 		}
@@ -438,7 +605,7 @@ func (c *loopJoinCursor) Next() (rel.Tuple, bool) {
 		if !c.have {
 			t, ok := c.left.Next()
 			if !ok {
-				c.meter.release(c.held)
+				c.meter.Release(c.held)
 				c.held = 0
 				c.right = nil
 				return nil, false

@@ -16,6 +16,13 @@ type Trace struct {
 	Steps           []TraceStep
 	MaxIntermediate int
 	TotalTuples     int
+	// MaxResident is the peak number of tuples simultaneously held in
+	// operator state — semijoin build indexes, union/difference sinks —
+	// across the whole plan. Only the streaming evaluator
+	// (EvalStreamedTraced) fills it; the materialized evaluator leaves
+	// it zero, since it holds every intermediate in full. The final
+	// result relation is not counted, exactly as in ra.Trace.
+	MaxResident int
 }
 
 // TraceStep is one subexpression's evaluation record.
@@ -39,10 +46,26 @@ func Eval(e Expr, d *rel.Database) *rel.Relation {
 }
 
 // EvalTraced evaluates the expression and returns the intermediate-size
-// trace.
+// trace. The expression is validated first (Validate), so malformed
+// trees — possible through direct struct construction, which bypasses
+// the checking constructors — fail with a clear "sa:"-prefixed panic
+// instead of a raw index-out-of-range mid-eval.
+//
+// The returned relation is always owned by the caller: when the root
+// of the expression is a bare relation name, the stored relation is
+// cloned (copy-on-read), so mutating the result never writes through
+// to the database. Every operator node already returns a fresh
+// relation; interior relation-name results are aliased read-only
+// views that never escape.
 func EvalTraced(e Expr, d *rel.Database) (*rel.Relation, *Trace) {
+	if err := Validate(e); err != nil {
+		panic("sa: invalid expression: " + err.Error())
+	}
 	tr := &Trace{}
 	res := eval(e, d, tr)
+	if _, bare := e.(*Rel); bare {
+		res = res.Clone()
+	}
 	return res, tr
 }
 
@@ -54,6 +77,9 @@ func eval(e Expr, d *rel.Database, tr *Trace) *rel.Relation {
 		if r.Arity() != n.arity {
 			panic(fmt.Sprintf("sa: relation %s has arity %d in database, expression expects %d", n.Name, r.Arity(), n.arity))
 		}
+		// Aliased read-only view; EvalTraced clones it if it is the
+		// root result, so callers never hold a reference into the
+		// database.
 		out = r
 	case *Union:
 		out = eval(n.L, d, tr).Union(eval(n.E, d, tr))
@@ -95,17 +121,14 @@ func eval(e Expr, d *rel.Database, tr *Trace) *rel.Relation {
 }
 
 // evalSemijoin computes r1 ⋉θ r2 (keep = true) or r1 ▷θ r2
-// (keep = false). Equality atoms are used to build a hash index on r2;
-// remaining atoms are verified per candidate.
+// (keep = false). Equality atoms are used to build a hash index on r2
+// keyed by interned value IDs (ra.JoinKeyer, the same keying the RA
+// hash joins use — no key strings are built); remaining atoms are
+// verified per candidate, and Cond.Holds confirms equality on every
+// candidate so hash collisions never cost correctness.
 func evalSemijoin(cond ra.Cond, r1, r2 *rel.Relation, keep bool) *rel.Relation {
 	out := rel.NewRelation(r1.Arity())
 	eqs := cond.EqPairs()
-	residual := make(ra.Cond, 0, len(cond))
-	for _, at := range cond {
-		if at.Op != ra.OpEq {
-			residual = append(residual, at)
-		}
-	}
 	var hasPartner func(a rel.Tuple) bool
 	if len(eqs) == 0 {
 		r2t := r2.Tuples()
@@ -118,21 +141,19 @@ func evalSemijoin(cond ra.Cond, r1, r2 *rel.Relation, keep bool) *rel.Relation {
 			return false
 		}
 	} else {
-		index := make(map[string][]rel.Tuple, r2.Len())
+		kr := ra.NewJoinKeyer(eqs)
+		index := make(map[uint64][]rel.Tuple, r2.Len())
 		for _, b := range r2.Tuples() {
-			k := make(rel.Tuple, len(eqs))
-			for i, p := range eqs {
-				k[i] = b[p[1]-1]
-			}
-			index[k.Key()] = append(index[k.Key()], b)
+			k, _ := kr.Key(b, 1)
+			index[k] = append(index[k], b)
 		}
 		hasPartner = func(a rel.Tuple) bool {
-			k := make(rel.Tuple, len(eqs))
-			for i, p := range eqs {
-				k[i] = a[p[0]-1]
+			k, ok := kr.Key(a, 0)
+			if !ok {
+				return false
 			}
-			for _, b := range index[k.Key()] {
-				if len(residual) == 0 || residual.Holds(a, b) {
+			for _, b := range index[k] {
+				if cond.Holds(a, b) {
 					return true
 				}
 			}

@@ -80,11 +80,12 @@ func (InvertedIndexContainment) Predicate() Predicate { return Containment }
 func (InvertedIndexContainment) Join(r, s []*Group) (*rel.Relation, Stats) {
 	var st Stats
 	out := rel.NewRelation(2)
-	index := map[string][]*Group{}
+	elems := rel.NewInterner() // shared element dictionary: ID -> postings index
+	index := map[uint32][]*Group{}
 	for _, gr := range r {
 		for _, e := range gr.Elems {
-			k := rel.Tuple{e}.Key()
-			index[k] = append(index[k], gr)
+			id := elems.Intern(e)
+			index[id] = append(index[id], gr)
 			st.Probes++
 		}
 	}
@@ -97,12 +98,16 @@ func (InvertedIndexContainment) Join(r, s []*Group) (*rel.Relation, Stats) {
 			}
 			continue
 		}
-		// Probe with the rarest element of D.
+		// Probe with the rarest element of D. An element missing from
+		// the dictionary appears in no R-set: no candidates at all.
 		var candidates []*Group
 		first := true
 		for _, e := range gs.Elems {
 			st.Probes++
-			posting := index[rel.Tuple{e}.Key()]
+			var posting []*Group
+			if id, ok := elems.ID(e); ok {
+				posting = index[id]
+			}
 			if first || len(posting) < len(candidates) {
 				candidates = posting
 				first = false
@@ -126,7 +131,11 @@ func (InvertedIndexContainment) Join(r, s []*Group) (*rel.Relation, Stats) {
 // set-equality predicate: hash every R-group by the canonical
 // encoding of its element set and probe with each S-group. Expected
 // O(input) + output, realizing footnote 1's bound (the sort inside
-// Groups contributes the n log n term).
+// Groups contributes the n log n term). Encodings run on one shared
+// Dict — dense interned element IDs instead of the Tuple.Key string
+// path — so the build interns and the probe is read-only: an S-set
+// with an element the dictionary has never seen matches nothing and
+// skips its lookup outright.
 type HashEquality struct{}
 
 // Name implements Algorithm.
@@ -139,15 +148,20 @@ func (HashEquality) Predicate() Predicate { return Equal }
 func (HashEquality) Join(r, s []*Group) (*rel.Relation, Stats) {
 	var st Stats
 	out := rel.NewRelation(2)
+	dict := NewDict()
 	index := map[string][]*Group{}
 	for _, gr := range r {
 		st.Probes++
-		k := gr.CanonicalKey()
+		k := dict.Key(gr)
 		index[k] = append(index[k], gr)
 	}
 	for _, gs := range s {
 		st.Probes++
-		for _, gr := range index[gs.CanonicalKey()] {
+		k, ok := dict.ProbeKey(gs)
+		if !ok {
+			continue
+		}
+		for _, gr := range index[k] {
 			st.PairsConsidered++
 			out.Add(rel.Tuple{gr.Key, gs.Key})
 		}
@@ -156,7 +170,8 @@ func (HashEquality) Join(r, s []*Group) (*rel.Relation, Stats) {
 }
 
 // SortEquality is the sort-based set-equality join: sort both sides by
-// canonical encoding and merge equal runs. O(n log n) + output.
+// canonical encoding — interned through one shared Dict — and merge
+// equal runs. O(n log n) + output.
 type SortEquality struct{}
 
 // Name implements Algorithm.
@@ -169,6 +184,7 @@ func (SortEquality) Predicate() Predicate { return Equal }
 func (SortEquality) Join(r, s []*Group) (*rel.Relation, Stats) {
 	var st Stats
 	out := rel.NewRelation(2)
+	dict := NewDict()
 	type keyed struct {
 		key string
 		g   *Group
@@ -176,7 +192,7 @@ func (SortEquality) Join(r, s []*Group) (*rel.Relation, Stats) {
 	mk := func(gs []*Group) []keyed {
 		out := make([]keyed, len(gs))
 		for i, g := range gs {
-			out[i] = keyed{g.CanonicalKey(), g}
+			out[i] = keyed{dict.Key(g), g}
 		}
 		sort.Slice(out, func(i, j int) bool {
 			st.Comparisons++
@@ -228,13 +244,18 @@ func (NestedLoopEquality) Predicate() Predicate { return Equal }
 func (NestedLoopEquality) Join(r, s []*Group) (*rel.Relation, Stats) {
 	var st Stats
 	out := rel.NewRelation(2)
+	dict := NewDict()
+	sKeys := make([]string, len(s))
+	for i, gs := range s {
+		sKeys[i] = dict.Key(gs)
+	}
 	for _, gr := range r {
-		rk := gr.CanonicalKey()
-		for _, gs := range s {
+		rk := dict.Key(gr)
+		for i, gs := range s {
 			st.PairsConsidered++
 			st.Verifications++
 			st.Comparisons += min(len(gr.Elems), len(gs.Elems)) + 1
-			if rk == gs.CanonicalKey() {
+			if rk == sKeys[i] {
 				out.Add(rel.Tuple{gr.Key, gs.Key})
 			}
 		}
@@ -257,18 +278,23 @@ func (EquijoinOverlap) Predicate() Predicate { return Overlap }
 func (EquijoinOverlap) Join(r, s []*Group) (*rel.Relation, Stats) {
 	var st Stats
 	out := rel.NewRelation(2)
-	index := map[string][]*Group{}
+	elems := rel.NewInterner()
+	index := map[uint32][]*Group{}
 	for _, gr := range r {
 		for _, e := range gr.Elems {
 			st.Probes++
-			k := rel.Tuple{e}.Key()
-			index[k] = append(index[k], gr)
+			id := elems.Intern(e)
+			index[id] = append(index[id], gr)
 		}
 	}
 	for _, gs := range s {
 		for _, e := range gs.Elems {
 			st.Probes++
-			for _, gr := range index[rel.Tuple{e}.Key()] {
+			id, ok := elems.ID(e)
+			if !ok {
+				continue // element in no R-set: joins with nothing
+			}
+			for _, gr := range index[id] {
 				st.PairsConsidered++
 				out.Add(rel.Tuple{gr.Key, gs.Key})
 			}

@@ -94,12 +94,60 @@ func (p ParallelSignatureContainment) Join(r, s []*Group) (*rel.Relation, Stats)
 	return out, mergeStats(per)
 }
 
+// streamJoinChanCap bounds the per-chunk output channels of the
+// JoinStream variants; see engine.OrderedMerge.
+const streamJoinChanCap = 128
+
+// JoinStream runs the signature containment join on the worker pool
+// and produces the result as a cursor: contiguous R chunks are
+// verified concurrently, each streaming its (a, c) pairs through a
+// bounded channel, and the returned cursor drains the chunks in chunk
+// order — the exact sequential SignatureContainment emission sequence
+// — while later chunks are still being verified. Partition boundaries
+// hold no materialized output; backpressure from the bounded channels
+// paces workers that run ahead of the consumer. The cursor must be
+// drained to exhaustion. With one worker the sequential join runs
+// inline and its result is streamed.
+//
+// The byte-identical guarantee assumes distinct group keys per side,
+// which Groups establishes; a hand-built list repeating a key can make
+// the stream emit a pair twice where a materialized result relation
+// would deduplicate it.
+func (p ParallelSignatureContainment) JoinStream(r, s []*Group) engine.Cursor {
+	ex := engine.Executor{Workers: p.Workers}
+	if ex.WorkerCount() <= 1 {
+		res, _ := SignatureContainment{}.Join(r, s)
+		return res.Cursor()
+	}
+	chunks := chunkRanges(len(r), ex.PartitionCount())
+	chans := make([]chan rel.Tuple, len(chunks))
+	for c := range chans {
+		chans[c] = make(chan rel.Tuple, streamJoinChanCap)
+	}
+	go ex.Run(len(chunks), func(c int) {
+		defer close(chans[c])
+		var cmp int
+		for _, gr := range r[chunks[c][0]:chunks[c][1]] {
+			for _, gs := range s {
+				if gs.sig&^gr.sig != 0 {
+					continue
+				}
+				if gr.ContainsAll(gs, &cmp) {
+					chans[c] <- rel.Tuple{gr.Key, gs.Key}
+				}
+			}
+		}
+	})
+	return engine.OrderedMerge(chans)
+}
+
 // ParallelHashEquality is the canonical-encoding hash equality join
 // with a parallel probe phase: the R-side index is built sequentially
-// (canonical keys are memoized by Groups, so this is one map insert
-// per group), then contiguous chunks of S probe it concurrently.
-// Chunk outputs concatenate in chunk order, matching the sequential
-// HashEquality emission order exactly.
+// on a shared Dict (interned element IDs — the build phase is the only
+// writer of the dictionary), then contiguous chunks of S probe it
+// concurrently through the read-only Dict.ProbeKey path. Chunk outputs
+// concatenate in chunk order, matching the sequential HashEquality
+// emission order exactly.
 type ParallelHashEquality struct {
 	// Workers is the goroutine pool size; values <= 0 mean one worker
 	// per CPU.
@@ -119,10 +167,11 @@ func (p ParallelHashEquality) Join(r, s []*Group) (*rel.Relation, Stats) {
 		return HashEquality{}.Join(r, s)
 	}
 	var build Stats
+	dict := NewDict()
 	index := make(map[string][]*Group, len(r))
 	for _, gr := range r {
 		build.Probes++
-		k := gr.CanonicalKey()
+		k := dict.Key(gr)
 		index[k] = append(index[k], gr)
 	}
 	chunks := chunkRanges(len(s), ex.PartitionCount())
@@ -132,7 +181,11 @@ func (p ParallelHashEquality) Join(r, s []*Group) (*rel.Relation, Stats) {
 		st := &per[c]
 		for _, gs := range s[chunks[c][0]:chunks[c][1]] {
 			st.Probes++
-			for _, gr := range index[gs.CanonicalKey()] {
+			k, ok := dict.ProbeKey(gs)
+			if !ok {
+				continue // an element no R-set has: equality impossible
+			}
+			for _, gr := range index[k] {
 				st.PairsConsidered++
 				pairs[c] = append(pairs[c], pair{gr.Key, gs.Key})
 			}
@@ -147,4 +200,47 @@ func (p ParallelHashEquality) Join(r, s []*Group) (*rel.Relation, Stats) {
 	st := mergeStats(per)
 	st.Probes += build.Probes
 	return out, st
+}
+
+// JoinStream is the cursor-producing hash equality join: the R-side
+// index and shared dictionary are built sequentially, then contiguous
+// S chunks probe concurrently (read-only, via Dict.ProbeKey) and
+// stream their pairs through bounded channels merged in chunk order —
+// the exact sequential HashEquality emission sequence. The cursor must
+// be drained to exhaustion. With one worker the sequential join runs
+// inline and its result is streamed. As with JoinStream on the
+// containment side, byte-identity assumes the distinct group keys
+// Groups establishes.
+func (p ParallelHashEquality) JoinStream(r, s []*Group) engine.Cursor {
+	ex := engine.Executor{Workers: p.Workers}
+	if ex.WorkerCount() <= 1 {
+		res, _ := HashEquality{}.Join(r, s)
+		return res.Cursor()
+	}
+	chunks := chunkRanges(len(s), ex.PartitionCount())
+	chans := make([]chan rel.Tuple, len(chunks))
+	for c := range chans {
+		chans[c] = make(chan rel.Tuple, streamJoinChanCap)
+	}
+	go func() {
+		dict := NewDict()
+		index := make(map[string][]*Group, len(r))
+		for _, gr := range r {
+			k := dict.Key(gr)
+			index[k] = append(index[k], gr)
+		}
+		ex.Run(len(chunks), func(c int) {
+			defer close(chans[c])
+			for _, gs := range s[chunks[c][0]:chunks[c][1]] {
+				k, ok := dict.ProbeKey(gs)
+				if !ok {
+					continue
+				}
+				for _, gr := range index[k] {
+					chans[c] <- rel.Tuple{gr.Key, gs.Key}
+				}
+			}
+		})
+	}()
+	return engine.OrderedMerge(chans)
 }

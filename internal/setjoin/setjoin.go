@@ -184,6 +184,58 @@ func canonicalKey(elems []rel.Value) string {
 	return b.String()
 }
 
+// Dict is the shared canonical-key dictionary of one equality join:
+// one value interner covering the elements of both sides, so the
+// canonical encoding of a set becomes the sequence of its elements'
+// dense IDs (4 bytes each) instead of their Tuple.Key string
+// encodings. The encoding is injective for sets keyed through the
+// same Dict — IDs are assigned per value, and the elements are sorted
+// and deduplicated first (the same normalization CanonicalKey applies,
+// so hand-built unsorted groups keep encoding correctly).
+//
+// Sharing one Dict across both join sides is what makes the keys
+// comparable; per-relation dictionaries would assign incompatible IDs.
+// A Dict is not safe for concurrent interning: the parallel equality
+// join interns both sides in its sequential build phase and hands
+// workers the read-only ProbeKey path, the usage pattern of
+// internal/engine.
+type Dict struct {
+	elems *rel.Interner
+	buf   []byte
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict { return &Dict{elems: rel.NewInterner()} }
+
+// Key returns the canonical interned encoding of g's element set,
+// interning unseen elements.
+func (d *Dict) Key(g *Group) string {
+	elems := normalizeElems(g.Elems)
+	d.buf = d.buf[:0]
+	for _, e := range elems {
+		id := d.elems.Intern(e)
+		d.buf = append(d.buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(d.buf)
+}
+
+// ProbeKey is the read-only variant for concurrent probe phases: it
+// never interns, and reports ok = false when an element has no ID yet
+// — such a set cannot equal any set keyed through this Dict, so the
+// probe can skip the lookup entirely.
+func (d *Dict) ProbeKey(g *Group) (string, bool) {
+	elems := normalizeElems(g.Elems)
+	buf := make([]byte, 0, 4*len(elems))
+	for _, e := range elems {
+		id, ok := d.elems.ID(e)
+		if !ok {
+			return "", false
+		}
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(buf), true
+}
+
 // ContainsElem reports whether v is an element of the group's set, by
 // binary search over the sorted element list.
 func (g *Group) ContainsElem(v rel.Value) bool {

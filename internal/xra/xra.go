@@ -139,6 +139,13 @@ type Trace struct {
 	Steps           []TraceStep
 	MaxIntermediate int
 	TotalTuples     int
+	// MaxResident is the peak number of tuples simultaneously held in
+	// operator state — join build tables, γ accumulators — across the
+	// whole plan, wrapped RA subplans included (they share the meter).
+	// Only the streaming evaluator (EvalStreamedTraced) fills it; the
+	// materialized evaluator leaves it zero. The final result relation
+	// is not counted, exactly as in ra.Trace.
+	MaxResident int
 }
 
 // TraceStep is one evaluation record.
@@ -163,7 +170,17 @@ func Eval(e Expr, d *rel.Database) *rel.Relation {
 
 // EvalTraced evaluates the expression with intermediate-size tracing.
 // Wrapped pure-RA subexpressions contribute their own internal trace.
+// The expression is validated first (Validate), so malformed trees —
+// possible through direct struct construction — fail with a clear
+// "xra:"-prefixed panic instead of a raw index-out-of-range.
+//
+// The returned relation is always owned by the caller: every operator
+// node returns a fresh relation, and a root *Wrap delegates to
+// ra.EvalTraced, which clones bare-relation results.
 func EvalTraced(e Expr, d *rel.Database) (*rel.Relation, *Trace) {
+	if err := Validate(e); err != nil {
+		panic("xra: invalid expression: " + err.Error())
+	}
 	tr := &Trace{}
 	res := eval(e, d, tr)
 	return res, tr
@@ -194,39 +211,114 @@ func eval(e Expr, d *rel.Database, tr *Trace) *rel.Relation {
 	return out
 }
 
-func evalGamma(g *Gamma, in *rel.Relation) *rel.Relation {
-	type acc struct {
-		rep  rel.Tuple
-		seen map[string]bool
-		n    int
+// gammaAgg accumulates γ groups on interned value IDs, shared by the
+// materialized and streaming evaluators. Group keys are interned per
+// component and bucketed by rel.HashIDs with representative-tuple
+// verification (the same hash-then-confirm scheme rel.Relation uses
+// for dedup), and distinct counted values are tracked as interned IDs
+// per group — no Tuple.Key strings are built anywhere.
+//
+// dedupAll additionally filters duplicate input tuples, which the
+// streaming evaluator needs for count(*): its dedup-deferring
+// pipelines may deliver the same tuple twice, and only full-tuple
+// deduplication keeps the tuple count exact. (For count(col) the
+// per-group distinct-value sets absorb duplicates for free.) The
+// materialized evaluator consumes relations, which are sets already.
+type gammaAgg struct {
+	g       *Gamma
+	keys    *rel.Interner          // group-column values -> IDs
+	vals    *rel.Interner          // counted-column values -> IDs
+	buckets map[uint64][]int32     // HashIDs of the group-key IDs -> group indices
+	groups  []*gammaGroup          // first-occurrence order
+	idbuf   []uint32
+	seenT   *rel.Relation // distinct input tuples; only when dedupAll and CountCol == 0
+	// held counts the accumulator entries charged to the meter by the
+	// streaming evaluator: groups, distinct counted values, and
+	// deduplicated input tuples.
+	held int
+}
+
+type gammaGroup struct {
+	rep  rel.Tuple
+	seen map[uint32]bool
+	n    int
+}
+
+func newGammaAgg(g *Gamma, inputArity int, dedupAll bool) *gammaAgg {
+	a := &gammaAgg{
+		g:       g,
+		keys:    rel.NewInterner(),
+		buckets: make(map[uint64][]int32),
+		idbuf:   make([]uint32, len(g.GroupCols)),
 	}
-	groups := map[string]*acc{}
-	var order []string
-	for _, t := range in.Tuples() {
-		key := t.Project(g.GroupCols)
-		k := key.Key()
-		a := groups[k]
-		if a == nil {
-			a = &acc{rep: key, seen: map[string]bool{}}
-			groups[k] = a
-			order = append(order, k)
+	if g.CountCol > 0 {
+		a.vals = rel.NewInterner()
+	} else if dedupAll {
+		a.seenT = rel.NewRelation(inputArity)
+	}
+	return a
+}
+
+// add folds one input tuple into the aggregate. It returns the number
+// of new accumulator entries created (for resident metering).
+func (a *gammaAgg) add(t rel.Tuple) int {
+	grew := 0
+	if a.seenT != nil {
+		if !a.seenT.Add(t) {
+			return 0
 		}
-		if g.CountCol == 0 {
-			a.n++
-			continue
-		}
-		vk := rel.Tuple{t[g.CountCol-1]}.Key()
-		if !a.seen[vk] {
-			a.seen[vk] = true
-			a.n++
+		grew++
+	}
+	for i, c := range a.g.GroupCols {
+		a.idbuf[i] = a.keys.Intern(t[c-1])
+	}
+	h := rel.HashIDs(a.idbuf)
+	var grp *gammaGroup
+	for _, gi := range a.buckets[h] {
+		cand := a.groups[gi]
+		if keyEqual(cand.rep, t, a.g.GroupCols) {
+			grp = cand
+			break
 		}
 	}
-	out := rel.NewRelation(len(g.GroupCols) + 1)
-	for _, k := range order {
-		a := groups[k]
-		out.Add(a.rep.Concat(rel.Tuple{rel.Int(int64(a.n))}))
+	if grp == nil {
+		grp = &gammaGroup{rep: t.Project(a.g.GroupCols)}
+		if a.g.CountCol > 0 {
+			grp.seen = make(map[uint32]bool)
+		}
+		a.buckets[h] = append(a.buckets[h], int32(len(a.groups)))
+		a.groups = append(a.groups, grp)
+		grew++
 	}
-	if len(g.GroupCols) == 0 && out.Len() == 0 {
+	if a.g.CountCol == 0 {
+		grp.n++
+	} else if vid := a.vals.Intern(t[a.g.CountCol-1]); !grp.seen[vid] {
+		grp.seen[vid] = true
+		grp.n++
+		grew++
+	}
+	a.held += grew
+	return grew
+}
+
+// keyEqual reports whether rep equals t projected onto cols.
+func keyEqual(rep, t rel.Tuple, cols []int) bool {
+	for i, c := range cols {
+		if !rep[i].Equal(t[c-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// result materializes the aggregate rows in group first-occurrence
+// order, with the SQL-style zero row for an empty grand aggregate.
+func (a *gammaAgg) result() *rel.Relation {
+	out := rel.NewRelation(len(a.g.GroupCols) + 1)
+	for _, grp := range a.groups {
+		out.Add(grp.rep.Concat(rel.Tuple{rel.Int(int64(grp.n))}))
+	}
+	if len(a.g.GroupCols) == 0 && out.Len() == 0 {
 		// Grand aggregate over an empty input is a single zero row, as
 		// in SQL.
 		out.Add(rel.Tuple{rel.Int(0)})
@@ -234,6 +326,23 @@ func evalGamma(g *Gamma, in *rel.Relation) *rel.Relation {
 	return out
 }
 
+func evalGamma(g *Gamma, in *rel.Relation) *rel.Relation {
+	agg := newGammaAgg(g, in.Arity(), false)
+	for c := in.Cursor(); ; {
+		t, ok := c.Next()
+		if !ok {
+			break
+		}
+		agg.add(t)
+	}
+	return agg.result()
+}
+
+// evalJoin computes l ⋈θ r with the same interned-ID keying as the RA
+// evaluator (ra.JoinKeyer): equality atoms drive a hash join, residual
+// atoms are verified per candidate by Cond.Holds, and conditions
+// without equalities fall back to nested loops. No per-tuple key
+// strings are built.
 func evalJoin(cond ra.Cond, l, r *rel.Relation) *rel.Relation {
 	out := rel.NewRelation(l.Arity() + r.Arity())
 	lt, rt := l.Tuples(), r.Tuples()
@@ -248,24 +357,18 @@ func evalJoin(cond ra.Cond, l, r *rel.Relation) *rel.Relation {
 		}
 		return out
 	}
-	index := map[string][]rel.Tuple{}
-	key := func(t rel.Tuple, side int) string {
-		k := make(rel.Tuple, len(eqs))
-		for i, p := range eqs {
-			if side == 0 {
-				k[i] = t[p[0]-1]
-			} else {
-				k[i] = t[p[1]-1]
-			}
-		}
-		return k.Key()
-	}
+	kr := ra.NewJoinKeyer(eqs)
+	index := make(map[uint64][]rel.Tuple, r.Len())
 	for _, b := range rt {
-		k := key(b, 1)
+		k, _ := kr.Key(b, 1)
 		index[k] = append(index[k], b)
 	}
 	for _, a := range lt {
-		for _, b := range index[key(a, 0)] {
+		k, ok := kr.Key(a, 0)
+		if !ok {
+			continue
+		}
+		for _, b := range index[k] {
 			if cond.Holds(a, b) {
 				out.Add(a.Concat(b))
 			}
