@@ -434,8 +434,12 @@ func BenchmarkStreamedDedupFilter(b *testing.B) {
 		name string
 		opts ra.StreamOptions
 	}{
-		{"replay", ra.StreamOptions{}},
+		{"replay", ra.StreamOptions{Dedup: ra.DedupOff}},
 		{"dedup-filter", ra.StreamOptions{DedupProjections: true}},
+		// The cost-based default should land on the filter here: 40
+		// duplicate probes per key against ~20-candidate buckets dwarf
+		// one resident tuple per distinct key.
+		{"auto", ra.StreamOptions{}},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			var tr *ra.Trace

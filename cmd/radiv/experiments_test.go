@@ -31,7 +31,7 @@ func TestExperimentIDsUnique(t *testing.T) {
 			t.Errorf("experiment %s has no title", e.ID)
 		}
 	}
-	for _, id := range []string{"F1", "F2", "F3", "F4", "F5", "F6", "E3", "T8", "T17", "P26", "SJ1", "SJ2", "G5", "ST1", "ST2"} {
+	for _, id := range []string{"F1", "F2", "F3", "F4", "F5", "F6", "E3", "T8", "T17", "P26", "SJ1", "SJ2", "G5", "ST1", "ST2", "ST3"} {
 		if !seen[id] {
 			t.Errorf("experiment %s missing from registry", id)
 		}
@@ -73,6 +73,9 @@ func TestExperimentOutputsCarryTheClaims(t *testing.T) {
 	if out := get("ST2"); !strings.Contains(out, "both ≈ 1: linear") || strings.Contains(out, "diverges") ||
 		!strings.Contains(out, "byte for byte") {
 		t.Errorf("ST2 lost the linear-resident or cursor-fed parallel claim:\n%s", out)
+	}
+	if out := get("ST3"); !strings.Contains(out, "byte for byte") || strings.Contains(out, "diverges") {
+		t.Errorf("ST3 lost the sharded byte-identity claim:\n%s", out)
 	}
 }
 

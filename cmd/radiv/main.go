@@ -22,6 +22,8 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	flag.IntVar(&workers, "workers", 0,
 		"worker count for the parallel algorithm variants in P26/SJ1/SJ2 (0 = one per CPU)")
+	flag.IntVar(&shards, "shards", 0,
+		"shard count for the sharded-store experiment ST3 (0 = sweep 1, 2, 4)")
 	flag.Parse()
 
 	switch {

@@ -107,6 +107,73 @@ func (p ParallelHash) Divide(r, s *rel.Relation, sem Semantics) (*rel.Relation, 
 	return out, st
 }
 
+// DivisorTable is the shared read-only divisor dictionary of one hash
+// division: every divisor value gets a dense slot (its interned ID),
+// so per-shard workers probe integers and mark bitmap bits without
+// touching shared mutable state. It is the build-phase artifact that
+// DivideStream's workers and the shard-local division in
+// internal/shard both divide against.
+type DivisorTable struct {
+	slots *rel.Interner
+	need  int
+	words int
+}
+
+// NewDivisorTable interns the divisor set. S must be unary.
+func NewDivisorTable(s *rel.Relation) *DivisorTable {
+	if s.Arity() != 1 {
+		panic(fmt.Sprintf("division: S has arity %d, want 1", s.Arity()))
+	}
+	slots := rel.NewInterner()
+	for _, t := range s.Tuples() {
+		slots.Intern(t[0])
+	}
+	return &DivisorTable{slots: slots, need: slots.Len(), words: (slots.Len() + 63) / 64}
+}
+
+// DivideShard runs the Graefe bitmap scheme on one shard of the
+// dividend: tuples arrive as a cursor of binary (group, element)
+// pairs, groups accumulate locally by value, and the returned set
+// holds the group keys that qualify under the semantics. Correctness
+// requires the shard to hold its groups whole — every tuple of a
+// qualifying group must flow through the same call — which is exactly
+// the invariant hash partitioning on the group key establishes.
+// Concurrent calls are safe: the divisor table is read-only.
+func (dt *DivisorTable) DivideShard(shard engine.Cursor, sem Semantics) (map[rel.Value]bool, Stats) {
+	var st Stats
+	local := make(map[rel.Value]*divGroup)
+	for t, ok := shard.Next(); ok; t, ok = shard.Next() {
+		if len(t) != 2 {
+			panic(fmt.Sprintf("division: R tuple has arity %d, want 2", len(t)))
+		}
+		st.TuplesRead++
+		st.Probes++
+		g := local[t[0]]
+		if g == nil {
+			g = &divGroup{rep: t[0], seen: make([]uint64, dt.words)}
+			local[t[0]] = g
+		}
+		st.Probes++
+		if slot, ok := dt.slots.ID(t[1]); ok {
+			g.mark(slot)
+		} else {
+			g.extras++
+		}
+	}
+	st.MaxMemoryTuples = len(local) + len(local)*dt.words
+	qualified := make(map[rel.Value]bool, len(local))
+	for v, g := range local {
+		if g.hits != dt.need {
+			continue
+		}
+		if sem == Equality && g.extras > 0 {
+			continue
+		}
+		qualified[v] = true
+	}
+	return qualified, st
+}
+
 // DivideStream is cursor-fed hash division: the dividend arrives as a
 // stream of binary tuples and flows through the engine exchange —
 // router goroutine, bounded per-partition channels, one partition per
@@ -145,12 +212,7 @@ func (p ParallelHash) DivideStream(rc engine.Cursor, s *rel.Relation, sem Semant
 	out := make(chan rel.Tuple, 64)
 	go func() {
 		defer close(out)
-		slots := rel.NewInterner() // S value -> dense slot, shared read-only
-		for _, t := range s.Tuples() {
-			slots.Intern(t[0])
-		}
-		need := slots.Len()
-		words := (need + 63) / 64
+		dt := NewDivisorTable(s)  // shared read-only
 		gids := rel.NewInterner() // group value -> ID, router-owned while routing
 		qualified := make([]map[rel.Value]bool, ex.WorkerCount())
 		parts := ex.StreamPartitioned(rc, func(t rel.Tuple) int {
@@ -162,30 +224,7 @@ func (p ParallelHash) DivideStream(rc engine.Cursor, s *rel.Relation, sem Semant
 			// Workers group by value locally — rel.Value is comparable —
 			// and never touch the router's dictionary, which is still
 			// being written while shards flow.
-			local := make(map[rel.Value]*divGroup)
-			for t, ok := shard.Next(); ok; t, ok = shard.Next() {
-				g := local[t[0]]
-				if g == nil {
-					g = &divGroup{rep: t[0], seen: make([]uint64, words)}
-					local[t[0]] = g
-				}
-				if slot, ok := slots.ID(t[1]); ok {
-					g.mark(slot)
-				} else {
-					g.extras++
-				}
-			}
-			q4 := make(map[rel.Value]bool, len(local))
-			for v, g := range local {
-				if g.hits != need {
-					continue
-				}
-				if sem == Equality && g.extras > 0 {
-					continue
-				}
-				q4[v] = true
-			}
-			qualified[q] = q4
+			qualified[q], _ = dt.DivideShard(shard, sem)
 		})
 		// All workers done (StreamPartitioned returned): the dictionary
 		// is complete and quiescent. Emit in group-ID order == group

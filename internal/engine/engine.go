@@ -41,25 +41,28 @@ type Interner = rel.Interner
 // NewInterner returns an empty dictionary.
 func NewInterner() *Interner { return rel.NewInterner() }
 
-// ForDatabase builds the per-database dictionary: every value of the
-// active domain of d is interned, relations in schema name order,
-// tuples in insertion order, components left to right. The assignment
-// is therefore deterministic for a deterministically built database.
-func ForDatabase(d *rel.Database) *Interner {
+// ForStore builds the per-database dictionary for any rel.Store
+// backend: every value of the active domain of s is interned,
+// relations in schema name order, tuples in insertion (scan) order,
+// components left to right. The assignment is therefore deterministic
+// for a deterministically built store, and identical across backends
+// holding the same data — sharding does not change dictionary IDs.
+func ForStore(s rel.Store) *Interner {
 	in := NewInterner()
-	for _, name := range d.Schema().Names() {
-		internRelation(in, d.Rel(name))
+	for _, name := range s.Schema().Names() {
+		c := s.View(name).Scan()
+		for t, ok := c.Next(); ok; t, ok = c.Next() {
+			for _, v := range t {
+				in.Intern(v)
+			}
+		}
 	}
 	return in
 }
 
-func internRelation(in *Interner, r *rel.Relation) {
-	for _, t := range r.Tuples() {
-		for _, v := range t {
-			in.Intern(v)
-		}
-	}
-}
+// ForDatabase is ForStore on the in-memory database, kept for call
+// sites that hold the concrete type.
+func ForDatabase(d *rel.Database) *Interner { return ForStore(d) }
 
 // Executor is a worker pool for partitioned execution. The zero value
 // is valid and uses one worker per available CPU.

@@ -80,6 +80,20 @@ func (e Executor) StreamPartitioned(in Cursor, route func(rel.Tuple) int, work f
 	return w
 }
 
+// StreamSharded is the shard-aware path of the exchange: when the
+// input is already partitioned — one cursor per shard-local store,
+// with the partition invariant (all tuples of a group in one shard)
+// established at storage time — no router goroutine and no channels
+// are needed. work(q, shards[q]) runs once per shard, spread over the
+// worker pool; it returns after every shard has been processed, and
+// reports the shard count for symmetry with StreamPartitioned. With
+// one shard it degenerates to work(0, shards[0]) on the calling
+// goroutine.
+func (e Executor) StreamSharded(shards []Cursor, work func(q int, shard Cursor)) int {
+	e.Run(len(shards), func(q int) { work(q, shards[q]) })
+	return len(shards)
+}
+
 // OrderedMerge returns a cursor that drains the given channels in
 // slice order: all of channel 0 (until it closes), then channel 1, and
 // so on. Producers fill their own channel concurrently and close it

@@ -122,3 +122,38 @@ func TestOrderedMergeDrainsInOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamShardedRunsEveryShardOnce: the shard-aware path hands each
+// pre-partitioned cursor to work exactly once, with the right index,
+// across worker counts — including workers > shards and workers == 1.
+func TestStreamShardedRunsEveryShardOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		const shards = 3
+		cursors := make([]Cursor, shards)
+		for q := range cursors {
+			cursors[q] = &sliceCursor{ts: []rel.Tuple{rel.Ints(int64(q))}}
+		}
+		var calls [shards]atomic.Int64
+		got := make([]int64, shards)
+		n := Executor{Workers: workers}.StreamSharded(cursors, func(q int, shard Cursor) {
+			calls[q].Add(1)
+			tup, ok := shard.Next()
+			if !ok {
+				t.Errorf("workers %d: shard %d empty", workers, q)
+				return
+			}
+			got[q] = tup[0].AsInt()
+		})
+		if n != shards {
+			t.Fatalf("workers %d: reported %d shards, want %d", workers, n, shards)
+		}
+		for q := range calls {
+			if c := calls[q].Load(); c != 1 {
+				t.Errorf("workers %d: shard %d processed %d times", workers, q, c)
+			}
+			if got[q] != int64(q) {
+				t.Errorf("workers %d: shard %d saw cursor %d", workers, q, got[q])
+			}
+		}
+	}
+}

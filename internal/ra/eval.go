@@ -61,9 +61,10 @@ func (tr *Trace) String() string {
 	return b.String()
 }
 
-// Eval evaluates the expression on the database and returns the result
-// relation.
-func Eval(e Expr, d *rel.Database) *rel.Relation {
+// Eval evaluates the expression on a store — the in-memory
+// rel.Database or any other rel.Store backend, such as the
+// hash-partitioned shard.Database — and returns the result relation.
+func Eval(e Expr, d rel.Store) *rel.Relation {
 	res, _ := EvalTraced(e, d)
 	return res
 }
@@ -75,21 +76,45 @@ func Eval(e Expr, d *rel.Database) *rel.Relation {
 // clear "ra:"-prefixed panic instead of a raw index-out-of-range.
 //
 // The returned relation is always owned by the caller: when the root
-// of the expression is a bare relation name, the stored relation is
-// cloned (copy-on-read), so mutating the result never writes through
-// to the database. Every operator node already returns a fresh
-// relation; interior relation-name results are aliased read-only
+// of the expression is a bare relation name, an aliased stored
+// relation is cloned (copy-on-read), so mutating the result never
+// writes through to the store. Every operator node already returns a
+// fresh relation; interior relation-name results are aliased read-only
 // views that never escape.
-func EvalTraced(e Expr, d *rel.Database) (*rel.Relation, *Trace) {
+func EvalTraced(e Expr, d rel.Store) (*rel.Relation, *Trace) {
 	if err := Validate(e); err != nil {
 		panic("ra: invalid expression: " + err.Error())
 	}
 	tr := &Trace{}
-	res := eval(e, d, tr)
-	if _, bare := e.(*Rel); bare {
-		res = res.Clone()
+	v := newEvaluator(d)
+	if n, bare := e.(*Rel); bare {
+		r, aliased := v.base(n)
+		tr.record(e, r.Len())
+		if aliased {
+			// The store handed out its own relation: clone, so the
+			// caller owns the result. Snapshots are already fresh.
+			r = r.Clone()
+		}
+		return r, tr
 	}
-	return res, tr
+	return v.eval(e, tr), tr
+}
+
+// evaluator carries the materialized evaluation's base-relation
+// resolver (rel.BaseResolver: snapshot memoization for non-Database
+// backends, the aliasing flag driving the root-clone decision).
+type evaluator struct {
+	rels *rel.BaseResolver
+}
+
+func newEvaluator(d rel.Store) *evaluator {
+	return &evaluator{rels: rel.NewBaseResolver(d, "ra")}
+}
+
+// base resolves a relation-name node to a relation plus whether it
+// aliases store-owned storage.
+func (v *evaluator) base(n *Rel) (*rel.Relation, bool) {
+	return v.rels.Resolve(n.Name, n.arity)
 }
 
 // Validate checks every node of the expression tree for structural
@@ -141,26 +166,22 @@ func Validate(e Expr) error {
 	return nil
 }
 
-func eval(e Expr, d *rel.Database, tr *Trace) *rel.Relation {
+func (v *evaluator) eval(e Expr, tr *Trace) *rel.Relation {
 	var out *rel.Relation
 	switch n := e.(type) {
 	case *Rel:
-		r := d.Rel(n.Name)
-		if r.Arity() != n.arity {
-			panic(fmt.Sprintf("ra: relation %s has arity %d in database, expression expects %d", n.Name, r.Arity(), n.arity))
-		}
-		// Aliased read-only view; EvalTraced clones it if it is the
-		// root result, so callers never hold a reference into the
-		// database.
-		out = r
+		// Interior base relations are read-only views — aliased into
+		// the database or shared snapshots from the memo — that never
+		// escape; only the root result needs ownership handling.
+		out, _ = v.base(n)
 	case *Union:
-		out = eval(n.L, d, tr).Union(eval(n.E, d, tr))
+		out = v.eval(n.L, tr).Union(v.eval(n.E, tr))
 	case *Diff:
-		out = eval(n.L, d, tr).Diff(eval(n.E, d, tr))
+		out = v.eval(n.L, tr).Diff(v.eval(n.E, tr))
 	case *Project:
-		out = eval(n.E, d, tr).Project(n.Cols...)
+		out = v.eval(n.E, tr).Project(n.Cols...)
 	case *Select:
-		in := eval(n.E, d, tr)
+		in := v.eval(n.E, tr)
 		out = rel.NewRelation(in.Arity())
 		for _, t := range in.Tuples() {
 			if n.Op.Eval(t[n.I-1], t[n.J-1]) {
@@ -168,7 +189,7 @@ func eval(e Expr, d *rel.Database, tr *Trace) *rel.Relation {
 			}
 		}
 	case *SelectConst:
-		in := eval(n.E, d, tr)
+		in := v.eval(n.E, tr)
 		out = rel.NewRelation(in.Arity())
 		for _, t := range in.Tuples() {
 			if t[n.I-1].Equal(n.C) {
@@ -176,13 +197,13 @@ func eval(e Expr, d *rel.Database, tr *Trace) *rel.Relation {
 			}
 		}
 	case *ConstTag:
-		in := eval(n.E, d, tr)
+		in := v.eval(n.E, tr)
 		out = rel.NewRelation(in.Arity() + 1)
 		for _, t := range in.Tuples() {
 			out.Add(t.Concat(rel.Tuple{n.C}))
 		}
 	case *Join:
-		out = evalJoin(n, eval(n.L, d, tr), eval(n.E, d, tr))
+		out = evalJoin(n, v.eval(n.L, tr), v.eval(n.E, tr))
 	default:
 		panic(fmt.Sprintf("ra: unknown expression %T", e))
 	}

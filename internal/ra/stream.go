@@ -47,21 +47,32 @@ type Cursor interface {
 type StreamOptions struct {
 	// DedupProjections inserts a pipelined hash-set filter after every
 	// projection, so duplicate projected tuples are dropped where they
-	// arise instead of flowing downstream. By default deduplication is
+	// arise instead of flowing downstream. Without it deduplication is
 	// deferred to the consuming sink: that keeps projection state at
 	// zero, but a projection feeding a join's probe side then replays
 	// the join's candidate scan once per duplicate probe tuple (k× the
 	// probes on keys with k source tuples). The filter is the measured
-	// time-for-memory trade the ROADMAP asked for: it spends one
-	// resident tuple per distinct projected tuple to make every probe
-	// unique (see BenchmarkStreamedDedupFilter for the measurement).
+	// time-for-memory trade of PR 3: it spends one resident tuple per
+	// distinct projected tuple to make every probe unique (see
+	// BenchmarkStreamedDedupFilter for the measurement). Setting it
+	// forces the filter on every projection, overriding Dedup.
 	DedupProjections bool
+	// Dedup selects the filter policy when DedupProjections is unset.
+	// The zero value, DedupAuto, is the cost-based default: per
+	// projection, the filter is inserted exactly when the estimated
+	// duplicate fan-in × consuming-join bucket size exceeds the
+	// resident cost (see cost.go). DedupOff restores the deferred-only
+	// behavior; DedupOn forces the filter everywhere.
+	Dedup DedupMode
 }
 
 // EvalStreamed evaluates the expression with the streaming executor
 // and returns the result relation. The result is always a fresh
-// relation owned by the caller.
-func EvalStreamed(e Expr, d *rel.Database) *rel.Relation {
+// relation owned by the caller. Like every evaluator entry point, it
+// accepts any rel.Store backend; base relations are scanned in
+// insertion order, so the result sequence is identical across
+// backends holding the same data.
+func EvalStreamed(e Expr, d rel.Store) *rel.Relation {
 	res, _ := EvalStreamedTraced(e, d)
 	return res
 }
@@ -74,13 +85,13 @@ func EvalStreamed(e Expr, d *rel.Database) *rel.Relation {
 // cartesian join) it is zero, because no tuples flow through the
 // operator graph for them. MaxResident is filled in (see Trace). The
 // expression is validated first, as in EvalTraced.
-func EvalStreamedTraced(e Expr, d *rel.Database) (*rel.Relation, *Trace) {
+func EvalStreamedTraced(e Expr, d rel.Store) (*rel.Relation, *Trace) {
 	return EvalStreamedTracedOpts(e, d, StreamOptions{})
 }
 
 // EvalStreamedTracedOpts is EvalStreamedTraced with explicit executor
 // options.
-func EvalStreamedTracedOpts(e Expr, d *rel.Database, opts StreamOptions) (*rel.Relation, *Trace) {
+func EvalStreamedTracedOpts(e Expr, d rel.Store, opts StreamOptions) (*rel.Relation, *Trace) {
 	if err := Validate(e); err != nil {
 		panic("ra: invalid expression: " + err.Error())
 	}
@@ -154,7 +165,7 @@ type Stream struct {
 
 // OpenStream validates e and compiles it into a streaming plan over d,
 // charging operator state to m.
-func OpenStream(e Expr, d *rel.Database, m *Meter, opts StreamOptions) *Stream {
+func OpenStream(e Expr, d rel.Store, m *Meter, opts StreamOptions) *Stream {
 	if err := Validate(e); err != nil {
 		panic("ra: invalid expression: " + err.Error())
 	}
@@ -212,28 +223,34 @@ func (c *countCursor) Next() (rel.Tuple, bool) {
 
 // streamBuilder translates an expression tree into a cursor plan.
 type streamBuilder struct {
-	d     *rel.Database
+	d     rel.Store
 	meter *Meter
 	opts  StreamOptions
+	// probeBucket carries consumer context one level down the
+	// recursion: when a join builds its probe (left) input, it holds
+	// the estimated per-probe candidate scan, so a projection directly
+	// below can weigh the dedup filter (cost.go). Zero elsewhere.
+	probeBucket float64
 }
 
-// baseRel resolves a relation-name node against the database, with the
-// same arity check the materialized evaluator performs.
-func (b *streamBuilder) baseRel(n *Rel) *rel.Relation {
-	r := b.d.Rel(n.Name)
-	if r.Arity() != n.arity {
-		panic(fmt.Sprintf("ra: relation %s has arity %d in database, expression expects %d", n.Name, r.Arity(), n.arity))
-	}
-	return r
+// baseRel resolves a relation-name node against the store, with the
+// same arity check the materialized evaluator performs. For the
+// in-memory database the view is the stored *rel.Relation itself; a
+// sharded store routes probes and scans through its placement log.
+func (b *streamBuilder) baseRel(n *Rel) rel.StoredRel {
+	return rel.CheckView(b.d, n.Name, n.arity, "ra")
 }
 
 func (b *streamBuilder) cursor(e Expr) (Cursor, *countNode) {
 	node := &countNode{e: e}
 	var cur Cursor
 	dedup := false
+	// Consume the consumer context: it applies to this node only.
+	bucket := b.probeBucket
+	b.probeBucket = 0
 	switch n := e.(type) {
 	case *Rel:
-		cur = b.baseRel(n).Cursor()
+		cur = b.baseRel(n).Scan()
 	case *Union:
 		l, ln := b.cursor(n.L)
 		r, rn := b.cursor(n.E)
@@ -255,11 +272,11 @@ func (b *streamBuilder) cursor(e Expr) (Cursor, *countNode) {
 		}
 		cur = dc
 	case *Project:
+		dedup = b.dedupProjection(n, bucket)
 		in, kn := b.cursor(n.E)
 		node.kids = []*countNode{kn}
 		cols := n.Cols
 		cur = &mapCursor{in: in, f: func(t rel.Tuple) rel.Tuple { return t.Project(cols) }}
-		dedup = b.opts.DedupProjections
 	case *Select:
 		in, kn := b.cursor(n.E)
 		node.kids = []*countNode{kn}
@@ -276,6 +293,7 @@ func (b *streamBuilder) cursor(e Expr) (Cursor, *countNode) {
 		tag := rel.Tuple{n.C}
 		cur = &mapCursor{in: in, f: func(t rel.Tuple) rel.Tuple { return t.Concat(tag) }}
 	case *Join:
+		b.probeBucket = joinBucket(b, n)
 		l, ln := b.cursor(n.L)
 		node.kids = []*countNode{ln}
 		if eqs := n.Cond.EqPairs(); len(eqs) > 0 {
@@ -336,10 +354,10 @@ func NewUnionSinkCursor(l, r Cursor, arity int, m *Meter) Cursor {
 }
 
 // NewDiffCursor streams left through a membership filter against the
-// subtrahend: a stored relation is probed in place (holding nothing),
-// otherwise buildC is materialized first. Exactly one of buildC and
-// stored must be non-nil.
-func NewDiffCursor(left Cursor, buildC Cursor, stored *rel.Relation, arity int, m *Meter) Cursor {
+// subtrahend: a stored relation view is probed in place (holding
+// nothing), otherwise buildC is materialized first. Exactly one of
+// buildC and stored must be non-nil.
+func NewDiffCursor(left Cursor, buildC Cursor, stored rel.StoredRel, arity int, m *Meter) Cursor {
 	return &diffCursor{in: left, buildC: buildC, right: stored, arity: arity, meter: m}
 }
 
@@ -358,7 +376,7 @@ func NewHashJoinCursor(left, build Cursor, cond Cond, m *Meter) Cursor {
 // NewLoopJoinCursor replays the right side per probe tuple — in place
 // when stored is set, otherwise from a buffer materialized from
 // buildC. Exactly one of buildC and stored must be non-nil.
-func NewLoopJoinCursor(left Cursor, buildC Cursor, stored *rel.Relation, cond Cond, m *Meter) Cursor {
+func NewLoopJoinCursor(left Cursor, buildC Cursor, stored rel.StoredRel, cond Cond, m *Meter) Cursor {
 	return &loopJoinCursor{left: left, buildC: buildC, base: stored, cond: cond, meter: m}
 }
 
@@ -474,14 +492,14 @@ func (c *unionCursor) Next() (rel.Tuple, bool) {
 }
 
 // diffCursor materializes its subtrahend (unless it is a stored
-// relation, which is probed in place) and streams the left input
+// relation view, which is probed in place) and streams the left input
 // through the membership filter. Output deduplication is deferred to
 // the consuming sink, so duplicate left tuples pass through.
 type diffCursor struct {
 	in     Cursor // left input, streaming
 	buildC Cursor // right input; nil when right is a stored relation
 	arity  int
-	right  *rel.Relation
+	right  rel.StoredRel
 	meter  *Meter
 	opened bool
 	held   int
@@ -491,9 +509,10 @@ func (c *diffCursor) Next() (rel.Tuple, bool) {
 	if !c.opened {
 		c.opened = true
 		if c.buildC != nil {
-			c.right = rel.NewRelation(c.arity)
-			drainInto(c.buildC, c.right, c.meter)
-			c.held = c.right.Len()
+			sink := rel.NewRelation(c.arity)
+			drainInto(c.buildC, sink, c.meter)
+			c.held = sink.Len()
+			c.right = sink
 		}
 	}
 	for {
@@ -570,17 +589,17 @@ func (c *hashJoinCursor) Next() (rel.Tuple, bool) {
 // loopJoinCursor handles joins without equality atoms (cartesian
 // products and pure theta joins): the right input is replayed for
 // every left tuple — in place via a resettable cursor when it is a
-// stored relation, otherwise from a materialized buffer.
+// stored relation view, otherwise from a materialized buffer.
 type loopJoinCursor struct {
 	left   Cursor
 	buildC Cursor        // right child; nil when base is set
-	base   *rel.Relation // stored right relation, replayed in place
+	base   rel.StoredRel // stored right relation, replayed in place
 	cond   Cond
 	meter  *Meter
 
 	opened  bool
 	right   []rel.Tuple
-	baseCur *rel.Cursor
+	baseCur rel.TupleCursor
 	held    int
 
 	cur  rel.Tuple
@@ -592,7 +611,7 @@ func (c *loopJoinCursor) Next() (rel.Tuple, bool) {
 	if !c.opened {
 		c.opened = true
 		if c.base != nil {
-			c.baseCur = c.base.Cursor()
+			c.baseCur = c.base.Scan()
 		} else {
 			for t, ok := c.buildC.Next(); ok; t, ok = c.buildC.Next() {
 				c.right = append(c.right, t)

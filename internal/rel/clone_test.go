@@ -1,0 +1,123 @@
+package rel
+
+import "testing"
+
+// These tests are the regression suite of the Clone/Equal interner
+// audit: a clone must not alias the original's interner (or dedup
+// index, or tuple storage) in any way that lets post-clone adds
+// corrupt deduplication on either side. The audit found no sharing —
+// Clone rebuilds through Add, so every relation owns its dictionary —
+// and these tests pin that property against future rewrites (a
+// tempting "optimization" would be to share the interner and copy the
+// index, which would break ID assignment for values added to only one
+// side).
+
+// TestCloneInternerIndependence: the clone gets its own dictionary
+// object, and interning new values on one side does not leak IDs or
+// entries into the other.
+func TestCloneInternerIndependence(t *testing.T) {
+	r := FromRows(2, []int64{1, 2}, []int64{3, 4})
+	c := r.Clone()
+	if r.Interner() == c.Interner() {
+		t.Fatalf("clone shares the interner object")
+	}
+	// Diverge the dictionaries: each side sees a different new value
+	// first, so shared state would assign conflicting IDs.
+	r.Add(Ints(5, 6))
+	c.Add(Ints(7, 8))
+	if _, ok := c.Interner().ID(Int(5)); ok {
+		t.Errorf("original's post-clone value leaked into the clone's dictionary")
+	}
+	if _, ok := r.Interner().ID(Int(7)); ok {
+		t.Errorf("clone's post-clone value leaked into the original's dictionary")
+	}
+	// Dedup stays exact on both sides after the divergence.
+	if r.Add(Ints(5, 6)) || c.Add(Ints(7, 8)) {
+		t.Errorf("duplicate accepted after post-clone divergence")
+	}
+	if !r.Add(Ints(7, 8)) || !c.Add(Ints(5, 6)) {
+		t.Errorf("fresh tuple rejected after post-clone divergence")
+	}
+	if !r.Equal(c) {
+		t.Errorf("relations should have converged to the same set")
+	}
+}
+
+// TestCloneDedupIntegrityUnderInterleavedAdds hammers both sides with
+// the same add sequence in different orders: if any dedup state were
+// shared, the differing interleavings would assign clashing IDs and
+// either drop fresh tuples or accept duplicates.
+func TestCloneDedupIntegrityUnderInterleavedAdds(t *testing.T) {
+	r := NewRelation(2)
+	for i := int64(0); i < 20; i++ {
+		r.Add(Ints(i%5, i%7))
+	}
+	c := r.Clone()
+	for i := int64(50); i < 80; i++ {
+		r.Add(Ints(i, i%3))
+		j := 79 - (i - 50)
+		c.Add(Ints(j, j%3)) // same tuples, reverse order
+	}
+	if r.Len() != c.Len() {
+		t.Fatalf("cardinality diverged: %d vs %d", r.Len(), c.Len())
+	}
+	if !r.Equal(c) || !c.Equal(r) {
+		t.Fatalf("sets diverged under interleaved adds")
+	}
+	// Re-adding every tuple of one side into the other must be a no-op.
+	for _, tup := range r.Tuples() {
+		if c.Add(tup) {
+			t.Fatalf("clone dedup missed %s", tup)
+		}
+	}
+}
+
+// TestDatabaseCloneInternerIndependence lifts the audit to the
+// database level: every relation of the clone owns fresh dedup state,
+// and post-clone adds to either database leave the other untouched —
+// including Equal, which probes through each side's own dictionaries.
+func TestDatabaseCloneInternerIndependence(t *testing.T) {
+	d := NewDatabase(NewSchema(map[string]int{"R": 2, "S": 1}))
+	d.AddInts("R", 1, 2)
+	d.AddInts("S", 3)
+	c := d.Clone()
+	if d.Rel("R").Interner() == c.Rel("R").Interner() {
+		t.Fatalf("cloned database shares a relation interner")
+	}
+	if !d.Equal(c) {
+		t.Fatalf("clone not equal to original")
+	}
+	d.AddInts("R", 9, 9)
+	if c.Rel("R").Contains(Ints(9, 9)) || c.Rel("R").Len() != 1 {
+		t.Errorf("post-clone add to the original leaked into the clone")
+	}
+	if d.Equal(c) {
+		t.Errorf("Equal ignored the post-clone divergence")
+	}
+	c.AddInts("R", 9, 9)
+	if !d.Equal(c) {
+		t.Errorf("Equal should hold again after converging; interner state corrupted?")
+	}
+	// Dedup still exact on both sides.
+	if d.AddInts("R", 9, 9) || c.AddInts("R", 9, 9) {
+		t.Errorf("duplicate accepted after clone divergence/convergence")
+	}
+}
+
+// TestCloneTupleStorageIndependence: Add clones tuples, so mutating a
+// tuple slice the caller kept must not corrupt either relation — and
+// tuples yielded by one side never alias the other's storage.
+func TestCloneTupleStorageIndependence(t *testing.T) {
+	tup := Ints(1, 2)
+	r := NewRelation(2)
+	r.Add(tup)
+	c := r.Clone()
+	tup[0] = Int(99) // caller mutates its own slice
+	if !r.Contains(Ints(1, 2)) || !c.Contains(Ints(1, 2)) {
+		t.Errorf("caller mutation corrupted a relation")
+	}
+	rt, ct := r.Tuples()[0], c.Tuples()[0]
+	if &rt[0] == &ct[0] {
+		t.Errorf("clone aliases the original's tuple storage")
+	}
+}

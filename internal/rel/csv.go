@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -18,14 +19,16 @@ import (
 // Blank lines are ignored. A tuple line for an undeclared relation
 // implicitly declares it with the tuple's arity.
 
-// WriteText writes the database in the text format.
-func WriteText(w io.Writer, d *Database) error {
+// WriteText writes a store in the text format. It accepts any Store
+// backend; relations are emitted in name order and tuples in sorted
+// order, so equal stores — sharded or not — serialize identically.
+func WriteText(w io.Writer, d Store) error {
 	bw := bufio.NewWriter(w)
 	for _, name := range d.Schema().Names() {
 		if _, err := fmt.Fprintf(bw, "@%s %d\n", name, d.Schema()[name]); err != nil {
 			return err
 		}
-		for _, t := range d.Rel(name).Sorted() {
+		for _, t := range sortedScan(d.View(name)) {
 			parts := make([]string, len(t))
 			for i, v := range t {
 				parts[i] = v.String()
@@ -36,6 +39,18 @@ func WriteText(w io.Writer, d *Database) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// sortedScan drains a view and returns its tuples in lexicographic
+// order, the generalization of Relation.Sorted over StoredRel.
+func sortedScan(v StoredRel) []Tuple {
+	ts := make([]Tuple, 0, v.Len())
+	c := v.Scan()
+	for t, ok := c.Next(); ok; t, ok = c.Next() {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Cmp(ts[j]) < 0 })
+	return ts
 }
 
 // ReadText parses a database from the text format.

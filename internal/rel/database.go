@@ -71,6 +71,11 @@ func (d *Database) Rel(name string) *Relation {
 	return r
 }
 
+// View implements Store: the named relation itself is the view, with
+// no indirection — evaluators running on the in-memory database pay
+// nothing for the storage abstraction.
+func (d *Database) View(name string) StoredRel { return d.Rel(name) }
+
 // Add inserts a tuple into the named relation.
 func (d *Database) Add(name string, t Tuple) bool { return d.Rel(name).Add(t) }
 

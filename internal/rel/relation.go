@@ -159,6 +159,16 @@ func (c *Cursor) Next() (Tuple, bool) {
 // the inner side of a nested-loop join without re-copying the relation.
 func (c *Cursor) Reset() { c.i = 0 }
 
+// Scan implements StoredRel: the in-memory relation is its own view,
+// so scanning it is exactly Cursor().
+func (r *Relation) Scan() TupleCursor { return r.Cursor() }
+
+// At returns the tuple at position i in insertion order, shared with
+// the relation: read-only. It is the random-access primitive the
+// sharded store's placement log uses to replay global insertion order
+// across shard-local relations.
+func (r *Relation) At(i int) Tuple { return r.tuples[i] }
+
 // Sorted returns the tuples in lexicographic order as a fresh slice.
 func (r *Relation) Sorted() []Tuple {
 	ts := make([]Tuple, len(r.tuples))
@@ -167,7 +177,11 @@ func (r *Relation) Sorted() []Tuple {
 	return ts
 }
 
-// Clone returns a deep copy of the relation.
+// Clone returns a deep copy of the relation. The copy shares nothing
+// mutable with the original: it is rebuilt through Add, which gives it
+// its own Interner, its own dedup index, and clones of the tuples — so
+// adds to either side after cloning can never corrupt the other's
+// deduplication (regression-tested in TestCloneInternerIndependence).
 func (r *Relation) Clone() *Relation {
 	c := NewRelation(r.arity)
 	for _, t := range r.tuples {

@@ -1,0 +1,185 @@
+package rel
+
+// This file defines the storage abstraction of the library: Store is
+// what a "database" looks like to every layer above the tuple store —
+// the ra/sa/xra evaluators (materialized and streaming), the text
+// codec, and the engine's dictionary builders all consume this
+// interface rather than the concrete in-memory *Database. The
+// in-memory Database is one implementation; internal/shard provides a
+// hash-partitioned one that splits every relation across shard-local
+// stores behind the same contract.
+//
+// The contract every implementation must honor, because the
+// byte-identity guarantees of the streaming evaluators rest on it:
+//
+//   - Scan yields tuples in global insertion order (the order Add
+//     first accepted them), so any evaluator produces the same output
+//     sequence on any backend holding the same data;
+//   - Add deduplicates with set semantics, exactly like Relation.Add;
+//   - View panics for names outside the schema, mirroring
+//     Database.Rel;
+//   - yielded tuples may share backend storage and are read-only.
+
+import "fmt"
+
+// TupleCursor iterates tuples in insertion order and can rewind, which
+// is what the streaming evaluators need to replay a stored relation as
+// the inner side of a nested-loop join. *Cursor (from Relation.Cursor)
+// is the in-memory implementation.
+type TupleCursor interface {
+	Next() (Tuple, bool)
+	Reset()
+}
+
+// StoredRel is the per-relation handle of a Store: the read-only view
+// the evaluators scan, probe and replay in place. *Relation implements
+// it directly, so for the in-memory Database the view is the stored
+// relation itself, with no indirection.
+type StoredRel interface {
+	// Arity returns the relation's arity.
+	Arity() int
+	// Len returns the relation's cardinality.
+	Len() int
+	// Scan returns a resettable cursor over the tuples in insertion
+	// order. Yielded tuples share backend storage: read-only.
+	Scan() TupleCursor
+	// Contains reports membership of t.
+	Contains(t Tuple) bool
+}
+
+// Store is a database backend: a schema plus one relation per schema
+// name, created lazily as empty. It is the parameter type of every
+// evaluator in internal/ra, internal/sa and internal/xra.
+type Store interface {
+	// Schema returns the store's schema.
+	Schema() Schema
+	// View returns the handle of the named relation; it panics when
+	// name is not in the schema.
+	View(name string) StoredRel
+	// Add inserts a tuple into the named relation, reporting whether it
+	// was new. It panics when name is not in the schema or the arity is
+	// wrong.
+	Add(name string, t Tuple) bool
+	// Size returns the sum of the relations' cardinalities.
+	Size() int
+}
+
+var _ Store = (*Database)(nil)
+var _ StoredRel = (*Relation)(nil)
+var _ TupleCursor = (*Cursor)(nil)
+
+// Materialized returns the named relation of s as a *Relation, for
+// consumers that need whole-relation operations (the materialized
+// evaluators' base case, the shard executors' broadcast sides). For
+// the in-memory Database it is the stored relation itself — aliased is
+// true and the caller must treat it as read-only; any other backend
+// materializes a fresh snapshot from a scan, owned by the caller.
+func Materialized(s Store, name string) (r *Relation, aliased bool) {
+	if d, ok := s.(*Database); ok {
+		return d.Rel(name), true
+	}
+	v := s.View(name)
+	r = NewRelation(v.Arity())
+	c := v.Scan()
+	for t, ok := c.Next(); ok; t, ok = c.Next() {
+		r.Add(t)
+	}
+	return r, false
+}
+
+// CopyStore adds every tuple of src into dst, relations in schema name
+// order, tuples in scan (insertion) order — so a deterministically
+// built source reproduces deterministically in any destination
+// backend. Every relation of src's schema must exist in dst's schema
+// with the same arity; dst keeps any relations of its own.
+func CopyStore(dst, src Store) {
+	for _, name := range src.Schema().Names() {
+		c := src.View(name).Scan()
+		for t, ok := c.Next(); ok; t, ok = c.Next() {
+			dst.Add(name, t)
+		}
+	}
+}
+
+// StoresEqual reports whether two stores have the same schema domain
+// and identical relation contents (as sets — insertion order is not
+// compared). It is Database.Equal generalized over backends, so a
+// sharded store can be compared against the in-memory database it was
+// loaded from.
+func StoresEqual(a, b Store) bool {
+	as, bs := a.Schema(), b.Schema()
+	if len(as) != len(bs) {
+		return false
+	}
+	for name, ar := range as {
+		br, ok := bs[name]
+		if !ok || ar != br {
+			return false
+		}
+		av, bv := a.View(name), b.View(name)
+		if av.Len() != bv.Len() {
+			return false
+		}
+		c := av.Scan()
+		for t, ok := c.Next(); ok; t, ok = c.Next() {
+			if !bv.Contains(t) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckView resolves the named relation's view and verifies its arity
+// against an expression's expectation, panicking with the caller's
+// package prefix on mismatch — the shared base-relation resolution of
+// the three algebras' evaluators.
+func CheckView(s Store, name string, arity int, pkg string) StoredRel {
+	v := s.View(name)
+	if v.Arity() != arity {
+		panic(fmt.Sprintf("%s: relation %s has arity %d in database, expression expects %d", pkg, name, v.Arity(), arity))
+	}
+	return v
+}
+
+// BaseResolver is the base-relation resolution of a materialized
+// evaluator over a Store, shared by the ra and sa evaluators so the
+// ownership and memoization rules live in one place. For the
+// in-memory Database it hands out the stored relations themselves
+// (aliased, zero copies); any other backend materializes each
+// relation once per evaluation and serves later references from the
+// memo — a relation named k times in an expression is copied once.
+type BaseResolver struct {
+	s    Store
+	pkg  string
+	memo map[string]*Relation // nil for the in-memory Database
+}
+
+// NewBaseResolver returns a resolver panicking with the given package
+// prefix on arity mismatches.
+func NewBaseResolver(s Store, pkg string) *BaseResolver {
+	r := &BaseResolver{s: s, pkg: pkg}
+	if _, mem := s.(*Database); !mem {
+		r.memo = make(map[string]*Relation)
+	}
+	return r
+}
+
+// Resolve checks the node's arity and returns the relation plus
+// whether it aliases store-owned storage: true exactly when the store
+// handed out its own relation, which a caller returning it as a root
+// result must clone. Memoized snapshots are fresh (never aliased) but
+// shared within the evaluation: interior read-only views.
+func (b *BaseResolver) Resolve(name string, arity int) (*Relation, bool) {
+	CheckView(b.s, name, arity, b.pkg)
+	if b.memo != nil {
+		if r, ok := b.memo[name]; ok {
+			return r, false
+		}
+	}
+	r, aliased := Materialized(b.s, name)
+	if b.memo != nil {
+		b.memo[name] = r
+	}
+	return r, aliased
+}

@@ -39,8 +39,8 @@ func (tr *Trace) record(e Expr, size int) {
 	tr.TotalTuples += size
 }
 
-// Eval evaluates the expression on the database.
-func Eval(e Expr, d *rel.Database) *rel.Relation {
+// Eval evaluates the expression on a store (any rel.Store backend).
+func Eval(e Expr, d rel.Store) *rel.Relation {
 	res, _ := EvalTraced(e, d)
 	return res
 }
@@ -52,43 +52,62 @@ func Eval(e Expr, d *rel.Database) *rel.Relation {
 // instead of a raw index-out-of-range mid-eval.
 //
 // The returned relation is always owned by the caller: when the root
-// of the expression is a bare relation name, the stored relation is
-// cloned (copy-on-read), so mutating the result never writes through
-// to the database. Every operator node already returns a fresh
-// relation; interior relation-name results are aliased read-only
+// of the expression is a bare relation name, an aliased stored
+// relation is cloned (copy-on-read), so mutating the result never
+// writes through to the store. Every operator node already returns a
+// fresh relation; interior relation-name results are aliased read-only
 // views that never escape.
-func EvalTraced(e Expr, d *rel.Database) (*rel.Relation, *Trace) {
+func EvalTraced(e Expr, d rel.Store) (*rel.Relation, *Trace) {
 	if err := Validate(e); err != nil {
 		panic("sa: invalid expression: " + err.Error())
 	}
 	tr := &Trace{}
-	res := eval(e, d, tr)
-	if _, bare := e.(*Rel); bare {
-		res = res.Clone()
+	v := newEvaluator(d)
+	if n, bare := e.(*Rel); bare {
+		r, aliased := v.base(n)
+		tr.record(e, r.Len())
+		if aliased {
+			// The store handed out its own relation: clone, so the
+			// caller owns the result. Snapshots are already fresh.
+			r = r.Clone()
+		}
+		return r, tr
 	}
-	return res, tr
+	return v.eval(e, tr), tr
 }
 
-func eval(e Expr, d *rel.Database, tr *Trace) *rel.Relation {
+// evaluator mirrors the ra evaluator context: the shared
+// rel.BaseResolver does the snapshot memoization and aliasing
+// bookkeeping for both algebras.
+type evaluator struct {
+	rels *rel.BaseResolver
+}
+
+func newEvaluator(d rel.Store) *evaluator {
+	return &evaluator{rels: rel.NewBaseResolver(d, "sa")}
+}
+
+// base resolves a relation-name node to a relation plus whether it
+// aliases store-owned storage.
+func (v *evaluator) base(n *Rel) (*rel.Relation, bool) {
+	return v.rels.Resolve(n.Name, n.arity)
+}
+
+func (v *evaluator) eval(e Expr, tr *Trace) *rel.Relation {
 	var out *rel.Relation
 	switch n := e.(type) {
 	case *Rel:
-		r := d.Rel(n.Name)
-		if r.Arity() != n.arity {
-			panic(fmt.Sprintf("sa: relation %s has arity %d in database, expression expects %d", n.Name, r.Arity(), n.arity))
-		}
-		// Aliased read-only view; EvalTraced clones it if it is the
-		// root result, so callers never hold a reference into the
-		// database.
-		out = r
+		// Interior base relations are read-only views that never
+		// escape; only the root result needs ownership handling.
+		out, _ = v.base(n)
 	case *Union:
-		out = eval(n.L, d, tr).Union(eval(n.E, d, tr))
+		out = v.eval(n.L, tr).Union(v.eval(n.E, tr))
 	case *Diff:
-		out = eval(n.L, d, tr).Diff(eval(n.E, d, tr))
+		out = v.eval(n.L, tr).Diff(v.eval(n.E, tr))
 	case *Project:
-		out = eval(n.E, d, tr).Project(n.Cols...)
+		out = v.eval(n.E, tr).Project(n.Cols...)
 	case *Select:
-		in := eval(n.E, d, tr)
+		in := v.eval(n.E, tr)
 		out = rel.NewRelation(in.Arity())
 		for _, t := range in.Tuples() {
 			if n.Op.Eval(t[n.I-1], t[n.J-1]) {
@@ -96,7 +115,7 @@ func eval(e Expr, d *rel.Database, tr *Trace) *rel.Relation {
 			}
 		}
 	case *SelectConst:
-		in := eval(n.E, d, tr)
+		in := v.eval(n.E, tr)
 		out = rel.NewRelation(in.Arity())
 		for _, t := range in.Tuples() {
 			if t[n.I-1].Equal(n.C) {
@@ -104,15 +123,15 @@ func eval(e Expr, d *rel.Database, tr *Trace) *rel.Relation {
 			}
 		}
 	case *ConstTag:
-		in := eval(n.E, d, tr)
+		in := v.eval(n.E, tr)
 		out = rel.NewRelation(in.Arity() + 1)
 		for _, t := range in.Tuples() {
 			out.Add(t.Concat(rel.Tuple{n.C}))
 		}
 	case *Semijoin:
-		out = evalSemijoin(n.Cond, eval(n.L, d, tr), eval(n.E, d, tr), true)
+		out = evalSemijoin(n.Cond, v.eval(n.L, tr), v.eval(n.E, tr), true)
 	case *Antijoin:
-		out = evalSemijoin(n.Cond, eval(n.L, d, tr), eval(n.E, d, tr), false)
+		out = evalSemijoin(n.Cond, v.eval(n.L, tr), v.eval(n.E, tr), false)
 	default:
 		panic(fmt.Sprintf("sa: unknown expression %T", e))
 	}

@@ -26,7 +26,7 @@ import (
 // EvalStreamed evaluates the expression with the streaming executor
 // and returns the result relation. The result is always a fresh
 // relation owned by the caller.
-func EvalStreamed(e Expr, d *rel.Database) *rel.Relation {
+func EvalStreamed(e Expr, d rel.Store) *rel.Relation {
 	res, _ := EvalStreamedTraced(e, d)
 	return res
 }
@@ -38,7 +38,7 @@ func EvalStreamed(e Expr, d *rel.Database) *rel.Relation {
 // subtrahend of a difference, the replayed side of a θ-semijoin) count
 // zero. MaxResident is filled in (see Trace). The expression is
 // validated first, as in EvalTraced.
-func EvalStreamedTraced(e Expr, d *rel.Database) (*rel.Relation, *Trace) {
+func EvalStreamedTraced(e Expr, d rel.Store) (*rel.Relation, *Trace) {
 	if err := Validate(e); err != nil {
 		panic("sa: invalid expression: " + err.Error())
 	}
@@ -107,16 +107,12 @@ func (c *saCountCursor) Next() (rel.Tuple, bool) {
 
 // streamBuilder translates an SA expression tree into a cursor plan.
 type streamBuilder struct {
-	d     *rel.Database
+	d     rel.Store
 	meter *ra.Meter
 }
 
-func (b *streamBuilder) baseRel(n *Rel) *rel.Relation {
-	r := b.d.Rel(n.Name)
-	if r.Arity() != n.arity {
-		panic(fmt.Sprintf("sa: relation %s has arity %d in database, expression expects %d", n.Name, r.Arity(), n.arity))
-	}
-	return r
+func (b *streamBuilder) baseRel(n *Rel) rel.StoredRel {
+	return rel.CheckView(b.d, n.Name, n.arity, "sa")
 }
 
 func (b *streamBuilder) cursor(e Expr) (ra.Cursor, *saCountNode) {
@@ -124,7 +120,7 @@ func (b *streamBuilder) cursor(e Expr) (ra.Cursor, *saCountNode) {
 	var cur ra.Cursor
 	switch n := e.(type) {
 	case *Rel:
-		cur = b.baseRel(n).Cursor()
+		cur = b.baseRel(n).Scan()
 	case *Union:
 		l, ln := b.cursor(n.L)
 		r, rn := b.cursor(n.E)
@@ -310,14 +306,14 @@ func (c *hashSemijoinCursor) Next() (rel.Tuple, bool) {
 type loopSemijoinCursor struct {
 	left   ra.Cursor
 	buildC ra.Cursor     // right child; nil when base is set
-	base   *rel.Relation // stored right relation, replayed in place
+	base   rel.StoredRel // stored right relation, replayed in place
 	cond   ra.Cond
 	keep   bool
 	meter  *ra.Meter
 
 	opened  bool
 	right   []rel.Tuple
-	baseCur *rel.Cursor
+	baseCur rel.TupleCursor
 	held    int
 }
 
@@ -325,7 +321,7 @@ func (c *loopSemijoinCursor) Next() (rel.Tuple, bool) {
 	if !c.opened {
 		c.opened = true
 		if c.base != nil {
-			c.baseCur = c.base.Cursor()
+			c.baseCur = c.base.Scan()
 		} else {
 			for t, ok := c.buildC.Next(); ok; t, ok = c.buildC.Next() {
 				c.right = append(c.right, t)

@@ -1,0 +1,83 @@
+package setjoin
+
+// This file provides the shard-local building blocks of the sharded
+// set joins in internal/shard: one R shard joins against the full
+// (broadcast) S side, producing output keyed so that a gid-ordered
+// merge across shards reproduces the sequential algorithms' emission
+// sequences byte for byte. The two joins key their output differently
+// because their sequential emission orders differ: the signature
+// containment join is R-major (outer loop over R groups), so pairs
+// come back grouped per R key; the hash equality join is S-major
+// (probe loop over S groups), so pairs come back per S position,
+// tagged with the R group's global rank for the within-probe order.
+
+import "radiv/internal/rel"
+
+// ShardContainment runs the signature nested-loop containment join of
+// one R shard against the full S group list, returning each local R
+// group's matching pairs keyed by its group key. Within a group the
+// pairs are in S order — exactly the slice SignatureContainment would
+// emit while that group was the outer tuple — so a merge that walks R
+// groups in global first-occurrence order and concatenates their pair
+// lists reproduces the sequential emission byte for byte. Concurrent
+// calls on disjoint shards are safe: both group lists are read-only.
+func ShardContainment(r, s []*Group) (map[rel.Value][]rel.Tuple, Stats) {
+	var st Stats
+	out := make(map[rel.Value][]rel.Tuple, len(r))
+	for _, gr := range r {
+		var pairs []rel.Tuple
+		for _, gs := range s {
+			st.PairsConsidered++
+			if gs.sig&^gr.sig != 0 {
+				continue // a bit of D is missing from B: cannot contain
+			}
+			st.Verifications++
+			if gr.ContainsAll(gs, &st.Comparisons) {
+				pairs = append(pairs, rel.Tuple{gr.Key, gs.Key})
+			}
+		}
+		if pairs != nil {
+			out[gr.Key] = pairs
+		}
+	}
+	return out, st
+}
+
+// RankedPair is one equality-join result tagged with the global rank
+// (routing gid) of its R group, the sort key of the cross-shard merge.
+type RankedPair struct {
+	Rank uint32
+	Pair rel.Tuple
+}
+
+// ShardEquality runs the canonical-encoding hash equality join of one
+// R shard against the full S group list: the shard's groups build a
+// local index on a local dictionary, then every S group probes it.
+// rank maps an R group key to its global rank; results come back per S
+// position, each list ascending in rank (local insertion order
+// respects global first-occurrence order), so the cross-shard merge
+// only has to interleave sorted lists to reproduce the sequential
+// HashEquality emission: S-major, R insertion order within a probe.
+func ShardEquality(r, s []*Group, rank func(rel.Value) uint32) ([][]RankedPair, Stats) {
+	var st Stats
+	dict := NewDict()
+	index := make(map[string][]*Group, len(r))
+	for _, gr := range r {
+		st.Probes++
+		k := dict.Key(gr)
+		index[k] = append(index[k], gr)
+	}
+	out := make([][]RankedPair, len(s))
+	for si, gs := range s {
+		st.Probes++
+		k, ok := dict.ProbeKey(gs)
+		if !ok {
+			continue // an element no local R-set has: equality impossible here
+		}
+		for _, gr := range index[k] {
+			st.PairsConsidered++
+			out[si] = append(out[si], RankedPair{Rank: rank(gr.Key), Pair: rel.Tuple{gr.Key, gs.Key}})
+		}
+	}
+	return out, st
+}

@@ -1,0 +1,204 @@
+package shard
+
+// This file is the shard-aware execution layer: division and the set
+// joins run shard-locally — each shard's worker touches only its own
+// store plus read-only broadcast state — and a sequential merge walks
+// the routing dictionary's group IDs in order. Because a relation's
+// router assigns IDs in first-occurrence order, gid order is exactly
+// the group order the sequential algorithms emit in, so the merged
+// result is byte-identical to the single-store run at every shard
+// count (the same argument division.ParallelHash.DivideStream makes
+// for its worker partitions). With one shard every entry point
+// delegates straight to the sequential algorithm on the underlying
+// store: no routing happened at load time and none is paid here.
+
+import (
+	"time"
+
+	"radiv/internal/division"
+	"radiv/internal/engine"
+	"radiv/internal/rel"
+	"radiv/internal/setjoin"
+)
+
+// Stats reports the cost anatomy of one sharded run: what each shard
+// held and what the merge cost.
+type Stats struct {
+	// ShardResident is, per shard, the peak number of auxiliary
+	// entries (group states, bitmap words, index entries) the
+	// shard-local work held — the per-shard resident memory the ST3
+	// experiment plots.
+	ShardResident []int
+	// Merged counts the entries the gid-ordered merge phase examined.
+	Merged int
+	// MergeTime is the wall time of the merge phase alone — the
+	// coordination overhead sharding adds on top of the shard-local
+	// work. Zero for single-shard runs, which have no merge.
+	MergeTime time.Duration
+}
+
+// arityOf checks a relation's arity with a shard-prefixed panic,
+// through the same rel.CheckView the evaluators use.
+func arityOf(db *Database, name string, want int) {
+	rel.CheckView(db, name, want, "shard")
+}
+
+// Divide computes rName ÷ sName shard-locally: the divisor is
+// materialized once into a shared read-only dictionary
+// (division.DivisorTable), each shard runs the Graefe bitmap scheme
+// over its local dividend cursor on the worker pool
+// (engine.StreamSharded), and the merge emits qualifying groups in the
+// dividend router's gid order — the sequential Hash emission order, so
+// the result is byte-identical to division.Hash on the merged
+// relations at every shard count. workers <= 0 means one per CPU.
+func Divide(db *Database, rName, sName string, sem division.Semantics, workers int) (*rel.Relation, Stats) {
+	arityOf(db, rName, 2)
+	arityOf(db, sName, 1)
+	if db.NumShards() == 1 {
+		d := db.Shard(0)
+		out, st := division.Hash{}.Divide(d.Rel(rName), d.Rel(sName), sem)
+		// Hash's MaxMemoryTuples includes the divisor table; subtract
+		// it so the figure counts the same thing DivideShard reports
+		// for multi-shard runs (group state only — the divisor is
+		// broadcast, not shard-local) and the column is comparable
+		// across shard counts.
+		return out, Stats{ShardResident: []int{st.MaxMemoryTuples - d.Rel(sName).Len()}}
+	}
+	sRel, _ := rel.Materialized(db, sName) // broadcast side, read-only
+	dt := division.NewDivisorTable(sRel)
+	n := db.NumShards()
+	cursors := make([]engine.Cursor, n)
+	for q := range cursors {
+		cursors[q] = db.Shard(q).Rel(rName).Cursor()
+	}
+	qualified := make([]map[rel.Value]bool, n)
+	resident := make([]int, n)
+	engine.Executor{Workers: workers}.StreamSharded(cursors, func(q int, shard engine.Cursor) {
+		var st division.Stats
+		qualified[q], st = dt.DivideShard(shard, sem)
+		resident[q] = st.MaxMemoryTuples
+	})
+	st := Stats{ShardResident: resident}
+	mergeStart := time.Now()
+	out := rel.NewRelation(1)
+	rt := db.Router(rName)
+	for gid := 0; rt != nil && gid < rt.Len(); gid++ {
+		st.Merged++
+		v := rt.Value(uint32(gid))
+		if qualified[engine.PartOf(uint32(gid), n)][v] {
+			out.Add(rel.Tuple{v})
+		}
+	}
+	st.MergeTime = time.Since(mergeStart)
+	return out, st
+}
+
+// ContainmentJoin computes the set-containment join rName ⋈[B⊇D] sName
+// shard-locally: the S side is materialized and grouped once
+// (broadcast, read-only), each shard joins its local R groups against
+// it with the signature nested loop, and the merge concatenates each
+// group's pairs in the R router's gid order — reproducing the
+// sequential setjoin.SignatureContainment emission byte for byte at
+// every shard count. workers <= 0 means one per CPU.
+func ContainmentJoin(db *Database, rName, sName string, workers int) (*rel.Relation, Stats) {
+	return shardedSetJoin(db, rName, sName, workers, true)
+}
+
+// EqualityJoin computes the set-equality join rName ⋈[B=D] sName
+// shard-locally: each shard builds a canonical-key index over its
+// local R groups, the broadcast S side probes every shard's index, and
+// the merge interleaves per-probe results by the R groups' global gid
+// rank — reproducing the sequential setjoin.HashEquality emission
+// (S-major, R insertion order within a probe) byte for byte at every
+// shard count. workers <= 0 means one per CPU.
+func EqualityJoin(db *Database, rName, sName string, workers int) (*rel.Relation, Stats) {
+	return shardedSetJoin(db, rName, sName, workers, false)
+}
+
+// groupsHeld counts the entries a shard's group list pins: one per
+// group plus its elements — the R-side state of that shard's join.
+func groupsHeld(gs []*setjoin.Group) int {
+	held := 0
+	for _, g := range gs {
+		held += 1 + len(g.Elems)
+	}
+	return held
+}
+
+func shardedSetJoin(db *Database, rName, sName string, workers int, containment bool) (*rel.Relation, Stats) {
+	arityOf(db, rName, 2)
+	arityOf(db, sName, 2)
+	if db.NumShards() == 1 {
+		d := db.Shard(0)
+		rG, sG := setjoin.Groups(d.Rel(rName)), setjoin.Groups(d.Rel(sName))
+		var out *rel.Relation
+		if containment {
+			out, _ = setjoin.SignatureContainment{}.Join(rG, sG)
+		} else {
+			out, _ = setjoin.HashEquality{}.Join(rG, sG)
+		}
+		return out, Stats{ShardResident: []int{groupsHeld(rG)}}
+	}
+	sRel, _ := rel.Materialized(db, sName) // broadcast side, read-only
+	sGroups := setjoin.Groups(sRel)
+	n := db.NumShards()
+	rt := db.Router(rName)
+	rank := func(v rel.Value) uint32 {
+		id, _ := rt.ID(v) // every local group key was interned at Add time
+		return id
+	}
+	containPairs := make([]map[rel.Value][]rel.Tuple, n)
+	eqPairs := make([][][]setjoin.RankedPair, n)
+	resident := make([]int, n)
+	engine.Executor{Workers: workers}.Run(n, func(q int) {
+		rGroups := setjoin.Groups(db.Shard(q).Rel(rName))
+		resident[q] = groupsHeld(rGroups)
+		if containment {
+			containPairs[q], _ = setjoin.ShardContainment(rGroups, sGroups)
+		} else {
+			eqPairs[q], _ = setjoin.ShardEquality(rGroups, sGroups, rank)
+		}
+	})
+	st := Stats{ShardResident: resident}
+	mergeStart := time.Now()
+	out := rel.NewRelation(2)
+	if containment {
+		// R-major merge: walk the dividend router's gids in order and
+		// splice in each group's pair list from its owning shard.
+		for gid := 0; rt != nil && gid < rt.Len(); gid++ {
+			st.Merged++
+			v := rt.Value(uint32(gid))
+			for _, p := range containPairs[engine.PartOf(uint32(gid), n)][v] {
+				out.Add(p)
+			}
+		}
+		st.MergeTime = time.Since(mergeStart)
+		return out, st
+	}
+	// S-major merge: per probe position, interleave the shards' rank-
+	// ascending pair lists into global rank order.
+	heads := make([]int, n) // per-shard cursor into eqPairs[q][si]
+	for si := range sGroups {
+		for q := range heads {
+			heads[q] = 0
+		}
+		for {
+			best, bq := uint32(0), -1
+			for q := 0; q < n; q++ {
+				if heads[q] < len(eqPairs[q][si]) {
+					if r := eqPairs[q][si][heads[q]].Rank; bq < 0 || r < best {
+						best, bq = r, q
+					}
+				}
+			}
+			if bq < 0 {
+				break
+			}
+			st.Merged++
+			out.Add(eqPairs[bq][si][heads[bq]].Pair)
+			heads[bq]++
+		}
+	}
+	st.MergeTime = time.Since(mergeStart)
+	return out, st
+}

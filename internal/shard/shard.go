@@ -1,0 +1,260 @@
+// Package shard implements a hash-partitioned rel.Store: one logical
+// database split across N shard-local in-memory stores. Every relation
+// is partitioned by the interned ID of its tuples' first column —
+// routed through the same deterministic avalanche partitioner
+// (engine.PartOf) the parallel executors use — so all tuples sharing a
+// group key land in the same shard. That invariant is what lets the
+// group-keyed algorithms (hash division, the set joins) run
+// shard-locally and merge without cross-shard traffic: a shard holds
+// its groups whole.
+//
+// Routing dictionaries are per relation: each relation name owns a
+// rel.Interner over the first-column values it has seen, in insertion
+// order, so a relation's router IDs are exactly the group IDs the
+// sequential hash algorithms assign — the merge phase walks them in
+// order and reproduces the single-store emission sequence byte for
+// byte (see exec.go). Each shard-local store is a full *rel.Database
+// with its own per-relation interners and dedup indexes; nothing is
+// shared between shards except the read-only routing dictionaries.
+//
+// The Store contract's insertion-order Scan is preserved across
+// partitioning by a placement log: per relation, the (shard, local
+// index) of every accepted tuple in arrival order. Scanning resolves
+// the log against the shard-local relations, so every evaluator
+// produces the same output sequence on a sharded store as on the
+// in-memory database — the property the randomized equivalence suite
+// pins at shard counts 1, 2 and 4.
+//
+// With one shard the whole apparatus switches off: no routing, no
+// placement log, every operation delegates to the single underlying
+// *rel.Database at zero overhead.
+package shard
+
+import (
+	"fmt"
+
+	"radiv/internal/engine"
+	"radiv/internal/rel"
+)
+
+// place records where one tuple landed: which shard and at which
+// position of the shard-local relation.
+type place struct {
+	shard int32
+	idx   int32
+}
+
+// Database is the hash-partitioned store. It implements rel.Store.
+// Mutate it only through its own Add; writing directly into a
+// shard-local store bypasses the routing and placement bookkeeping.
+// Like the in-memory Database, it is not safe for concurrent mutation;
+// concurrent readers are safe once loading is complete.
+type Database struct {
+	schema    rel.Schema
+	shards    []*rel.Database
+	routers   map[string]*rel.Interner // per-relation first-column dictionary; nil map when single-shard
+	placement map[string][]place       // per-relation global insertion order; nil map when single-shard
+}
+
+var _ rel.Store = (*Database)(nil)
+
+// New returns an empty sharded database over the schema with n shards
+// (values below 1 mean 1). With n == 1 it is a thin wrapper around one
+// in-memory database: no routing or placement state is kept.
+func New(schema rel.Schema, n int) *Database {
+	if n < 1 {
+		n = 1
+	}
+	s := &Database{schema: schema, shards: make([]*rel.Database, n)}
+	for i := range s.shards {
+		s.shards[i] = rel.NewDatabase(schema)
+		// Create every schema relation eagerly: the in-memory database
+		// materializes relations lazily on first access, which is a map
+		// write — eager creation keeps every read path (View, Scan,
+		// Contains) write-free, so the documented "concurrent readers
+		// are safe once loading is complete" contract holds even for
+		// relations some shard never received a tuple of.
+		for name := range schema {
+			s.shards[i].Rel(name)
+		}
+	}
+	if n > 1 {
+		s.routers = make(map[string]*rel.Interner, len(schema))
+		s.placement = make(map[string][]place, len(schema))
+	}
+	return s
+}
+
+// FromStore loads every tuple of src into a new sharded database over
+// src's schema, relations in name order, tuples in insertion order —
+// so the routing dictionaries, and hence the partitioning, are
+// deterministic for a deterministically built source.
+func FromStore(src rel.Store, n int) *Database {
+	s := New(src.Schema(), n)
+	rel.CopyStore(s, src)
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Database) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i's backing store. Treat it as read-only: the
+// shard-local evaluation paths scan and probe it, but all mutation
+// must go through the sharded database's Add.
+func (s *Database) Shard(i int) *rel.Database { return s.shards[i] }
+
+// Router returns the named relation's routing dictionary: first-column
+// value → dense ID in first-occurrence order, the group-ID order the
+// shard-local merges emit in. It is nil when the database has one
+// shard (no routing happens) or when the relation has no tuples yet.
+func (s *Database) Router(name string) *rel.Interner { return s.routers[name] }
+
+// Schema implements rel.Store.
+func (s *Database) Schema() rel.Schema { return s.schema }
+
+// Size implements rel.Store.
+func (s *Database) Size() int {
+	n := 0
+	for _, d := range s.shards {
+		n += d.Size()
+	}
+	return n
+}
+
+// Add implements rel.Store: the tuple is routed to its shard by the
+// interned ID of its first column (arity-0 tuples go to shard 0) and
+// inserted into the shard-local relation, which deduplicates —
+// duplicates route identically, so set semantics holds globally.
+func (s *Database) Add(name string, t rel.Tuple) bool {
+	if len(s.shards) == 1 {
+		return s.shards[0].Add(name, t)
+	}
+	q := s.route(name, t)
+	r := s.shards[q].Rel(name)
+	pos := r.Len()
+	if !r.Add(t) {
+		return false
+	}
+	s.placement[name] = append(s.placement[name], place{int32(q), int32(pos)})
+	return true
+}
+
+// AddInts inserts a tuple of integers into the named relation.
+func (s *Database) AddInts(name string, ns ...int64) bool { return s.Add(name, rel.Ints(ns...)) }
+
+// AddStrs inserts a tuple of strings into the named relation.
+func (s *Database) AddStrs(name string, ss ...string) bool { return s.Add(name, rel.Strs(ss...)) }
+
+// route assigns t's shard, interning its first column into the named
+// relation's routing dictionary.
+func (s *Database) route(name string, t rel.Tuple) int {
+	if len(t) == 0 {
+		return 0
+	}
+	rt := s.routers[name]
+	if rt == nil {
+		rt = rel.NewInterner()
+		s.routers[name] = rt
+	}
+	return engine.PartOf(rt.Intern(t[0]), len(s.shards))
+}
+
+// ShardOf reports which shard holds tuples with t's first column, or
+// -1 when no such tuple has been added (the value has no route yet).
+// Arity-0 tuples live in shard 0.
+func (s *Database) ShardOf(name string, t rel.Tuple) int {
+	if len(s.shards) == 1 || len(t) == 0 {
+		return 0
+	}
+	rt := s.routers[name]
+	if rt == nil {
+		return -1
+	}
+	id, ok := rt.ID(t[0])
+	if !ok {
+		return -1
+	}
+	return engine.PartOf(id, len(s.shards))
+}
+
+// View implements rel.Store. With one shard the underlying relation is
+// returned directly — the same zero-indirection view the in-memory
+// Database gives.
+func (s *Database) View(name string) rel.StoredRel {
+	if len(s.shards) == 1 {
+		return s.shards[0].Rel(name)
+	}
+	a, ok := s.schema.Arity(name)
+	if !ok {
+		panic(fmt.Sprintf("rel: relation %q not in schema", name))
+	}
+	rels := make([]*rel.Relation, len(s.shards))
+	for i, d := range s.shards {
+		rels[i] = d.Rel(name) // pure read: New created every relation
+	}
+	return &relView{db: s, name: name, arity: a, rels: rels}
+}
+
+// Equal reports whether the sharded database holds the same schema
+// domain and relation contents as another store (of any backend).
+func (s *Database) Equal(other rel.Store) bool { return rel.StoresEqual(s, other) }
+
+// relView is the multi-shard StoredRel: it resolves the placement log
+// against per-shard relation handles fixed at View time. It holds no
+// mutable state, so one view may be shared by concurrent readers.
+type relView struct {
+	db    *Database
+	name  string
+	arity int
+	rels  []*rel.Relation // per-shard handles, resolved by View
+}
+
+// Arity implements rel.StoredRel.
+func (v *relView) Arity() int { return v.arity }
+
+// Len implements rel.StoredRel: the placement log's length is the
+// global cardinality (only accepted tuples are logged).
+func (v *relView) Len() int { return len(v.db.placement[v.name]) }
+
+// Contains implements rel.StoredRel: route by the first column, probe
+// the owning shard only.
+func (v *relView) Contains(t rel.Tuple) bool {
+	if len(t) != v.arity {
+		return false
+	}
+	q := v.db.ShardOf(v.name, t)
+	if q < 0 {
+		return false
+	}
+	return v.rels[q].Contains(t)
+}
+
+// Scan implements rel.StoredRel: the cursor walks the placement log,
+// yielding tuples in global insertion order even though they live in
+// different shards. The log and shard handles are resolved once here —
+// Next is index arithmetic plus one slice load, like the in-memory
+// rel.Cursor — so, like rel.Cursor, the cursor covers the tuples
+// present at creation and must not outlive a mutation of the store.
+func (v *relView) Scan() rel.TupleCursor {
+	return &scanCursor{log: v.db.placement[v.name], rels: v.rels}
+}
+
+// scanCursor iterates a sharded relation in global insertion order.
+type scanCursor struct {
+	log  []place
+	rels []*rel.Relation
+	i    int
+}
+
+// Next implements rel.TupleCursor.
+func (c *scanCursor) Next() (rel.Tuple, bool) {
+	if c.i >= len(c.log) {
+		return nil, false
+	}
+	p := c.log[c.i]
+	c.i++
+	return c.rels[p.shard].At(int(p.idx)), true
+}
+
+// Reset implements rel.TupleCursor.
+func (c *scanCursor) Reset() { c.i = 0 }

@@ -26,7 +26,7 @@ import (
 // EvalStreamed evaluates the expression with the streaming executor
 // and returns the result relation. The result is always a fresh
 // relation owned by the caller.
-func EvalStreamed(e Expr, d *rel.Database) *rel.Relation {
+func EvalStreamed(e Expr, d rel.Store) *rel.Relation {
 	res, _ := EvalStreamedTraced(e, d)
 	return res
 }
@@ -36,7 +36,7 @@ func EvalStreamed(e Expr, d *rel.Database) *rel.Relation {
 // emitted by each operator (wrapped RA steps report the RA streaming
 // executor's flow counts); MaxResident is filled in (see Trace). The
 // expression is validated first, as in EvalTraced.
-func EvalStreamedTraced(e Expr, d *rel.Database) (*rel.Relation, *Trace) {
+func EvalStreamedTraced(e Expr, d rel.Store) (*rel.Relation, *Trace) {
 	if err := Validate(e); err != nil {
 		panic("xra: invalid expression: " + err.Error())
 	}
@@ -92,7 +92,7 @@ func (c *xCountCursor) Next() (rel.Tuple, bool) {
 // xStreamBuilder translates an extended-algebra expression tree into a
 // cursor plan.
 type xStreamBuilder struct {
-	d     *rel.Database
+	d     rel.Store
 	meter *ra.Meter
 }
 
@@ -114,11 +114,21 @@ func (b *xStreamBuilder) cursor(e Expr) (ra.Cursor, *xCountNode) {
 	case *Join:
 		l, ln := b.cursor(n.L)
 		node.kids = []*xCountNode{ln}
-		rc, rn := b.cursor(n.E)
-		node.kids = append(node.kids, rn)
 		if len(n.Cond.EqPairs()) > 0 {
+			rc, rn := b.cursor(n.E)
+			node.kids = append(node.kids, rn)
 			cur = ra.NewHashJoinCursor(l, rc, n.Cond, b.meter)
+		} else if base := b.wrappedBaseRel(n.E); base != nil {
+			// Pure-theta join against a wrapped stored relation: replay
+			// it in place per probe tuple, holding nothing — the same
+			// zero-resident path the ra and sa executors take for stored
+			// right sides. The Wrap node still appears in the trace, with
+			// zero flow, as stored relations consumed in place do.
+			node.kids = append(node.kids, &xCountNode{e: n.E})
+			cur = ra.NewLoopJoinCursor(l, nil, base, n.Cond, b.meter)
 		} else {
+			rc, rn := b.cursor(n.E)
+			node.kids = append(node.kids, rn)
 			cur = ra.NewLoopJoinCursor(l, rc, nil, n.Cond, b.meter)
 		}
 	case *Project:
@@ -130,6 +140,21 @@ func (b *xStreamBuilder) cursor(e Expr) (ra.Cursor, *xCountNode) {
 		panic(fmt.Sprintf("xra: unknown expression %T", e))
 	}
 	return &xCountCursor{in: cur, node: node}, node
+}
+
+// wrappedBaseRel unwraps a Wrap around a bare relation name and
+// resolves its store view, or returns nil when e is anything else —
+// the detector behind the in-place replay of stored theta-join sides.
+func (b *xStreamBuilder) wrappedBaseRel(e Expr) rel.StoredRel {
+	w, ok := e.(*Wrap)
+	if !ok {
+		return nil
+	}
+	r, ok := w.E.(*ra.Rel)
+	if !ok {
+		return nil
+	}
+	return rel.CheckView(b.d, r.Name, r.Arity(), "xra")
 }
 
 // mayEmitDuplicates reports whether the streaming plan for e can

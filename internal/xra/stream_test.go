@@ -189,10 +189,10 @@ func TestEvalResultOwnership(t *testing.T) {
 	}
 	evaluators := []struct {
 		name string
-		run  func(Expr, *rel.Database) *rel.Relation
+		run  func(Expr, rel.Store) *rel.Relation
 	}{
 		{"Eval", Eval},
-		{"EvalTraced", func(e Expr, d *rel.Database) *rel.Relation {
+		{"EvalTraced", func(e Expr, d rel.Store) *rel.Relation {
 			res, _ := EvalTraced(e, d)
 			return res
 		}},
