@@ -56,12 +56,12 @@ func TestRunGF(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	db := writeDB(t)
 	cases := [][]string{
-		{},                                  // missing db
-		{"-db", db},                         // no query
-		{"-db", "/nonexistent"},             // bad path
+		{},                                   // missing db
+		{"-db", db},                          // no query
+		{"-db", "/nonexistent"},              // bad path
 		{"-db", db, "-ra", "join[9=9](R,S)"}, // bad expression
-		{"-db", db, "-gf", "R(x"},           // bad formula
-		{"-db", db, "-gf", "Nope(x)"},       // unknown relation
+		{"-db", db, "-gf", "R(x"},            // bad formula
+		{"-db", db, "-gf", "Nope(x)"},        // unknown relation
 	}
 	for _, args := range cases {
 		var out bytes.Buffer

@@ -52,10 +52,10 @@ func quadraticCorpus() []ra.Expr {
 	return []ra.Expr{
 		ra.Product(s1(), s1()),
 		ra.Product(r2(), t2()),
-		ra.NewJoin(r2(), ra.Eq(1, 1), t2()),       // fk-fk join, free seconds
-		ra.NewJoin(r2(), ra.Lt(2, 1), t2()),       // order join
-		ra.DivisionExpr("R", "S"),                 // the paper's protagonist
-		ra.SetContainmentJoinExpr("R", "T"),       // set join
+		ra.NewJoin(r2(), ra.Eq(1, 1), t2()), // fk-fk join, free seconds
+		ra.NewJoin(r2(), ra.Lt(2, 1), t2()), // order join
+		ra.DivisionExpr("R", "S"),           // the paper's protagonist
+		ra.SetContainmentJoinExpr("R", "T"), // set join
 		ra.NewProject([]int{1}, ra.Product(r2(), t2())),
 	}
 }

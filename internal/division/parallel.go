@@ -174,13 +174,82 @@ func (dt *DivisorTable) DivideShard(shard engine.Cursor, sem Semantics) (map[rel
 	return qualified, st
 }
 
+// DivideShardBatches is DivideShard at batch granularity: the shard
+// arrives as columnar batches of (group, element) ID columns, and both
+// probes run through flat per-dictionary translation caches — after
+// the first occurrence of a group or element value, a row costs two
+// array loads instead of two value-keyed map probes. Groups accumulate
+// in first-occurrence order; the returned set and stats match
+// DivideShard on the same rows exactly. Concurrent calls are safe: the
+// divisor table is read-only and the caches are call-local.
+func (dt *DivisorTable) DivideShardBatches(shard engine.BatchCursor, sem Semantics) (map[rel.Value]bool, Stats) {
+	var st Stats
+	var groups []*divGroup
+	groupOf := rel.NewIDMap(rel.NewInterner()) // group value -> dense local index
+	slotOf := make(map[*rel.Interner][]int32)  // element id -> divisor slot+2, 1 = absent
+	for b, ok := shard.NextBatch(); ok; b, ok = shard.NextBatch() {
+		if b.Arity() != 2 {
+			panic(fmt.Sprintf("division: R batch has arity %d, want 2", b.Arity()))
+		}
+		c0, c1 := b.Col(0), b.Col(1)
+		d0, d1 := b.Dict(0), b.Dict(1)
+		slots := slotOf[d1]
+		if len(slots) < d1.Len() {
+			grown := make([]int32, d1.Len())
+			copy(grown, slots)
+			slots = grown
+			slotOf[d1] = slots
+		}
+		for row := range c0 {
+			st.TuplesRead++
+			st.Probes++
+			gi := groupOf.Intern(d0, c0[row])
+			if int(gi) == len(groups) {
+				groups = append(groups, &divGroup{rep: d0.Value(c0[row]), seen: make([]uint64, dt.words)})
+			}
+			g := groups[gi]
+			st.Probes++
+			s := slots[c1[row]]
+			if s == 0 {
+				if slot, ok := dt.slots.ID(d1.Value(c1[row])); ok {
+					s = int32(slot) + 2
+				} else {
+					s = 1
+				}
+				slots[c1[row]] = s
+			}
+			if s >= 2 {
+				g.mark(uint32(s - 2))
+			} else {
+				g.extras++
+			}
+		}
+		b.Release()
+	}
+	st.MaxMemoryTuples = len(groups) + len(groups)*dt.words
+	qualified := make(map[rel.Value]bool, len(groups))
+	for _, g := range groups {
+		if g.hits != dt.need {
+			continue
+		}
+		if sem == Equality && g.extras > 0 {
+			continue
+		}
+		qualified[g.rep] = true
+	}
+	return qualified, st
+}
+
 // DivideStream is cursor-fed hash division: the dividend arrives as a
 // stream of binary tuples and flows through the engine exchange —
 // router goroutine, bounded per-partition channels, one partition per
 // worker — so no partition index is materialized and partitions divide
-// while the producer is still emitting. Each partition runs the Graefe
-// bitmap scheme on its shard against the shared read-only divisor
-// dictionary, exactly as Divide does.
+// while the producer is still emitting. Since PR 5 the exchange moves
+// columnar batches: the input is packed into rel.BatchCap-row batches,
+// the router scatters rows into per-partition staging batches (one
+// channel send per full batch), and each partition runs the
+// vectorized DivideShardBatches on its shard against the shared
+// read-only divisor dictionary.
 //
 // The result is produced as a cursor, in the dividend's group
 // first-occurrence order — the order the sequential Hash algorithm
@@ -212,29 +281,134 @@ func (p ParallelHash) DivideStream(rc engine.Cursor, s *rel.Relation, sem Semant
 	out := make(chan rel.Tuple, 64)
 	go func() {
 		defer close(out)
-		dt := NewDivisorTable(s)  // shared read-only
+		dt := NewDivisorTable(s)  // frozen after this point
 		gids := rel.NewInterner() // group value -> ID, router-owned while routing
-		qualified := make([]map[rel.Value]bool, ex.WorkerCount())
-		parts := ex.StreamPartitioned(rc, func(t rel.Tuple) int {
-			if len(t) != 2 {
-				panic(fmt.Sprintf("division: R tuple has arity %d, want 2", len(t)))
-			}
-			return engine.PartOf(gids.Intern(t[0]), ex.WorkerCount())
-		}, func(q int, shard engine.Cursor) {
-			// Workers group by value locally — rel.Value is comparable —
-			// and never touch the router's dictionary, which is still
-			// being written while shards flow.
-			qualified[q], _ = dt.DivideShard(shard, sem)
+		// The producer side runs entirely on the router goroutine: rows
+		// are packed into batches and immediately re-encoded into dense
+		// (gid, slot) integer columns — the group's router ID in gids'
+		// first-occurrence order, and the element's divisor slot (+1, 0
+		// for a value outside the divisor). Workers therefore run on raw
+		// integers and never touch a dictionary, which matters because
+		// the packing dictionary is still being written while earlier
+		// batches are in flight (an Interner is not safe for concurrent
+		// read-while-intern).
+		in := &gidSlotCursor{
+			in:    rel.ToBatches(&arityCheckCursor{in: rc}, 2, rel.BatchCap),
+			gids:  rel.NewIDMap(gids),
+			dt:    dt,
+			slots: make(map[*rel.Interner][]int32),
+		}
+		qualified := make([]map[uint32]bool, ex.WorkerCount())
+		parts := ex.StreamPartitionedBatches(in, func(b *rel.Batch, row int) int {
+			return engine.PartOf(b.Col(0)[row], ex.WorkerCount())
+		}, func(q int, shard engine.BatchCursor) {
+			qualified[q] = dt.divideGidSlots(shard, sem)
 		})
-		// All workers done (StreamPartitioned returned): the dictionary
-		// is complete and quiescent. Emit in group-ID order == group
+		// All workers done (the exchange returned): the dictionary is
+		// complete and quiescent. Emit in group-ID order == group
 		// first-occurrence order == sequential Hash emission order.
 		for gid := 0; gid < gids.Len(); gid++ {
-			v := gids.Value(uint32(gid))
-			if qualified[engine.PartOf(uint32(gid), parts)][v] {
-				out <- rel.Tuple{v}
+			if qualified[engine.PartOf(uint32(gid), parts)][uint32(gid)] {
+				out <- rel.Tuple{gids.Value(uint32(gid))}
 			}
 		}
 	}()
 	return engine.ChanCursor{C: out}
+}
+
+// gidSlotCursor re-encodes binary (group, element) batches into dense
+// dictionary-free integer columns on the consuming (router) goroutine:
+// column 0 becomes the group's router gid, column 1 the element's
+// divisor slot + 1 (0 = not a divisor value). The translation caches
+// make both columns an array load per row after a value's first
+// occurrence; the divisor table is frozen, so its ID lookups are safe
+// here while workers probe downstream batches.
+type gidSlotCursor struct {
+	in    rel.BatchCursor
+	gids  *rel.IDMap
+	dt    *DivisorTable
+	slots map[*rel.Interner][]int32
+}
+
+func (c *gidSlotCursor) NextBatch() (*rel.Batch, bool) {
+	b, ok := c.in.NextBatch()
+	if !ok {
+		return nil, false
+	}
+	n := b.Len()
+	out := rel.NewBatchSized(2, n)
+	c0, c1 := b.Col(0), b.Col(1)
+	d0, d1 := b.Dict(0), b.Dict(1)
+	slots := c.slots[d1]
+	if len(slots) < d1.Len() {
+		grown := make([]int32, d1.Len())
+		copy(grown, slots)
+		slots = grown
+		c.slots[d1] = slots
+	}
+	g, s := out.WritableCol(0), out.WritableCol(1)
+	for row := 0; row < n; row++ {
+		g[row] = c.gids.Intern(d0, c0[row])
+		sl := slots[c1[row]]
+		if sl == 0 {
+			if slot, ok := c.dt.slots.ID(d1.Value(c1[row])); ok {
+				sl = int32(slot) + 2
+			} else {
+				sl = 1
+			}
+			slots[c1[row]] = sl
+		}
+		s[row] = uint32(sl - 1)
+	}
+	out.SetLen(n)
+	b.Release()
+	return out, true
+}
+
+// divideGidSlots runs the Graefe bitmap scheme on a shard of dense
+// (gid, slot+1) integer batches — the dictionary-free worker half of
+// DivideStream. Groups accumulate per gid; the returned set holds the
+// qualifying gids.
+func (dt *DivisorTable) divideGidSlots(shard engine.BatchCursor, sem Semantics) map[uint32]bool {
+	local := make(map[uint32]*divGroup)
+	for b, ok := shard.NextBatch(); ok; b, ok = shard.NextBatch() {
+		gcol, scol := b.Col(0), b.Col(1)
+		for row := range gcol {
+			g := local[gcol[row]]
+			if g == nil {
+				g = &divGroup{seen: make([]uint64, dt.words)}
+				local[gcol[row]] = g
+			}
+			if scol[row] > 0 {
+				g.mark(scol[row] - 1)
+			} else {
+				g.extras++
+			}
+		}
+		b.Release()
+	}
+	qualified := make(map[uint32]bool, len(local))
+	for gid, g := range local {
+		if g.hits != dt.need {
+			continue
+		}
+		if sem == Equality && g.extras > 0 {
+			continue
+		}
+		qualified[gid] = true
+	}
+	return qualified
+}
+
+// arityCheckCursor guards the streamed dividend with the same arity
+// panic the tuple-at-a-time path raised, before rows enter the batch
+// packer.
+type arityCheckCursor struct{ in engine.Cursor }
+
+func (c *arityCheckCursor) Next() (rel.Tuple, bool) {
+	t, ok := c.in.Next()
+	if ok && len(t) != 2 {
+		panic(fmt.Sprintf("division: R tuple has arity %d, want 2", len(t)))
+	}
+	return t, ok
 }

@@ -1,0 +1,198 @@
+package engine
+
+// This file is the batch-granular side of the parallel exchange: the
+// same Volcano shapes as stream.go — router goroutine, one bounded
+// channel per worker, shard-aware pre-partitioned path, ordered merge
+// — but moving one columnar rel.Batch (up to rel.BatchCap rows) per
+// channel send instead of one tuple. A channel operation costs the
+// same whether it carries 1 row or 1024, so batching the exchange
+// divides the synchronization overhead of StreamPartitioned by three
+// orders of magnitude while keeping the in-flight buffer bounded:
+// at most workers × batchChanCap batches (plus one staging batch per
+// partition) sit between producer and consumers.
+//
+// Deadlock freedom is inherited from stream.go: one partition per
+// worker, so every channel has a live consumer from the start.
+
+import (
+	"radiv/internal/rel"
+)
+
+// BatchCursor is the engine's pull-based batch iterator, structurally
+// identical to rel.BatchCursor (and ra's): batch cursors from the
+// storage and executor layers satisfy it without adaptation. The
+// yielded batch is owned by the consumer; see the ownership contract
+// in rel.
+type BatchCursor = rel.BatchCursor
+
+// ChanBatchCursor adapts a channel to a BatchCursor: NextBatch blocks
+// until a batch arrives or the channel closes.
+type ChanBatchCursor struct{ C <-chan *rel.Batch }
+
+// NextBatch implements BatchCursor.
+func (c ChanBatchCursor) NextBatch() (*rel.Batch, bool) {
+	b, ok := <-c.C
+	return b, ok
+}
+
+// batchChanCap is the bounded-channel capacity of the batch exchange,
+// in batches: 4 × BatchCap rows of backpressure slack per partition —
+// more rows in flight than the tuple exchange's 128, but 256× fewer
+// channel operations per row.
+const batchChanCap = 4
+
+// StreamPartitionedBatches is StreamPartitioned at batch granularity:
+// a router goroutine pulls in (sequentially — pull is single-consumer
+// by contract), assigns every row a partition with route(batch, row)
+// (called on the router goroutine, so it may intern into shared
+// dictionaries safely, and must return a value in [0, parts) for the
+// parts value returned), scatters rows into per-partition staging
+// batches, and sends each staging batch as a whole once full. Rows
+// reach work(q, shard) in input order per partition, as columnar
+// batches. It returns the number of partitions used — one per worker —
+// after every worker has finished. With one worker it degenerates to
+// work(0, in) on the calling goroutine: no routing, no copies, no
+// channels.
+//
+// Staging batches adopt the per-column dictionaries of the input rows
+// they hold; a mid-stream dictionary change (legal, if unusual, for a
+// BatchCursor) flushes the affected staging batches early, so workers
+// always receive batches with internally consistent dictionaries.
+//
+// Dictionary quiescence: workers read routed batches concurrently with
+// the router still pulling the input, so any dictionary those batches
+// reference must not be mutated for the duration of the exchange — an
+// Interner is not safe for read-while-intern. Stored relations satisfy
+// this (their dictionaries are quiescent during evaluation); a stream
+// packed on the fly by rel.ToBatches does NOT, because the adapter
+// interns into its dictionary as it packs. Such producers must either
+// re-encode rows into dictionary-free columns before the exchange (as
+// division.DivideStream does) or have workers defer decoding until
+// the exchange has returned.
+func (e Executor) StreamPartitionedBatches(in BatchCursor, route func(b *rel.Batch, row int) int, work func(q int, shard BatchCursor)) int {
+	w := e.WorkerCount()
+	if w <= 1 {
+		work(0, in)
+		return 1
+	}
+	chans := make([]chan *rel.Batch, w)
+	for q := range chans {
+		chans[q] = make(chan *rel.Batch, batchChanCap)
+	}
+	go func() {
+		staging := make([]*rel.Batch, w)
+		for b, ok := in.NextBatch(); ok; b, ok = in.NextBatch() {
+			n := b.Len()
+			for row := 0; row < n; row++ {
+				q := route(b, row)
+				s := staging[q]
+				if s != nil && !s.DictsMatch(b) {
+					chans[q] <- s
+					s = nil
+				}
+				if s == nil {
+					s = rel.NewBatch(b.Arity())
+					s.AdoptDicts(b)
+					staging[q] = s
+				}
+				s.AppendRowFrom(b, row)
+				if s.Full() {
+					chans[q] <- s
+					staging[q] = nil
+				}
+			}
+			b.Release()
+		}
+		for q, s := range staging {
+			if s != nil && s.Len() > 0 {
+				chans[q] <- s
+			} else {
+				s.Release()
+			}
+			close(chans[q])
+		}
+	}()
+	e.Run(w, func(q int) { work(q, ChanBatchCursor{C: chans[q]}) })
+	return w
+}
+
+// StreamShardedBatches is the shard-aware path of the batch exchange:
+// the input is already partitioned — one batch cursor per shard-local
+// store, partition invariant established at storage time — so no
+// router and no channels are needed; work(q, shards[q]) runs once per
+// shard over the worker pool. It returns after every shard has been
+// processed, reporting the shard count for symmetry with
+// StreamPartitionedBatches.
+func (e Executor) StreamShardedBatches(shards []BatchCursor, work func(q int, shard BatchCursor)) int {
+	e.Run(len(shards), func(q int) { work(q, shards[q]) })
+	return len(shards)
+}
+
+// OrderedMergeBatches returns a batch cursor draining the channels in
+// slice order, the batch-granular sibling of OrderedMerge. The cursor
+// must be drained to exhaustion, or producers blocked on full channels
+// leak.
+func OrderedMergeBatches(chans []chan *rel.Batch) BatchCursor {
+	return &orderedBatchMergeCursor{chans: chans}
+}
+
+type orderedBatchMergeCursor struct {
+	chans []chan *rel.Batch
+	i     int
+}
+
+// NextBatch implements BatchCursor.
+func (c *orderedBatchMergeCursor) NextBatch() (*rel.Batch, bool) {
+	for c.i < len(c.chans) {
+		if b, ok := <-c.chans[c.i]; ok {
+			return b, true
+		}
+		c.i++
+	}
+	return nil, false
+}
+
+// ChunkCap is the row count of one tuple chunk on the chunked merge
+// path: the batch-granularity option for producers whose natural
+// output is already row tuples (the set-join streams) rather than ID
+// columns — one channel send per ChunkCap results instead of one per
+// result.
+const ChunkCap = 256
+
+// OrderedMergeChunks returns a tuple cursor draining channels of tuple
+// chunks in slice order, flattening each chunk in order: the emission
+// sequence is exactly the per-channel concatenation OrderedMerge would
+// produce, at 1/ChunkCap the channel operations. The cursor must be
+// drained to exhaustion.
+func OrderedMergeChunks(chans []chan []rel.Tuple) Cursor {
+	return &orderedChunkMergeCursor{chans: chans}
+}
+
+type orderedChunkMergeCursor struct {
+	chans []chan []rel.Tuple
+	cur   []rel.Tuple
+	j     int
+	i     int
+}
+
+// Next implements Cursor.
+func (c *orderedChunkMergeCursor) Next() (rel.Tuple, bool) {
+	for {
+		if c.j < len(c.cur) {
+			t := c.cur[c.j]
+			c.j++
+			return t, true
+		}
+		c.cur, c.j = nil, 0
+		for c.i < len(c.chans) {
+			if ch, ok := <-c.chans[c.i]; ok {
+				c.cur = ch
+				break
+			}
+			c.i++
+		}
+		if c.cur == nil && c.i >= len(c.chans) {
+			return nil, false
+		}
+	}
+}

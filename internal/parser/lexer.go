@@ -113,9 +113,9 @@ type parserState struct {
 	i    int
 }
 
-func (p *parserState) peek() token  { return p.toks[p.i] }
-func (p *parserState) next() token  { t := p.toks[p.i]; p.i++; return t }
-func (p *parserState) atEOF() bool  { return p.toks[p.i].kind == tokEOF }
+func (p *parserState) peek() token { return p.toks[p.i] }
+func (p *parserState) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parserState) atEOF() bool { return p.toks[p.i].kind == tokEOF }
 
 func (p *parserState) expect(text string) error {
 	t := p.next()

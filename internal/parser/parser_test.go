@@ -215,8 +215,8 @@ func TestParseGFErrors(t *testing.T) {
 		"exists y (y = y & R(y))", // guard must be an atom
 		"R(x,)",
 		"x =",
-		"x < '5'",  // constants only in equality
-		"(x = y",   // unbalanced
+		"x < '5'",   // constants only in equality
+		"(x = y",    // unbalanced
 		"x = y etc", // trailing
 	}
 	for _, src := range cases {

@@ -16,7 +16,11 @@ package ra
 // in distinct tuples while the savings grow with fan-in × bucket, so
 // the regimes are far apart whenever the choice matters.
 
-import "math"
+import (
+	"math"
+
+	"radiv/internal/rel"
+)
 
 // DedupMode selects the projection dedup filter policy of the
 // streaming executor.
@@ -47,35 +51,35 @@ type sizeEstimate struct{ rows, distinct float64 }
 // selection). A relation name missing from the schema estimates as
 // empty — the builder will panic with the proper message when it
 // resolves the node.
-func estimateSize(b *streamBuilder, e Expr) sizeEstimate {
+func estimateSize(d rel.Store, e Expr) sizeEstimate {
 	switch n := e.(type) {
 	case *Rel:
-		if _, ok := b.d.Schema().Arity(n.Name); !ok {
+		if _, ok := d.Schema().Arity(n.Name); !ok {
 			return sizeEstimate{}
 		}
-		v := float64(b.d.View(n.Name).Len())
+		v := float64(d.View(n.Name).Len())
 		return sizeEstimate{v, v}
 	case *Union:
-		l, r := estimateSize(b, n.L), estimateSize(b, n.E)
+		l, r := estimateSize(d, n.L), estimateSize(d, n.E)
 		d := l.distinct + r.distinct
 		return sizeEstimate{d, d} // the union sink deduplicates
 	case *Diff:
-		l := estimateSize(b, n.L)
+		l := estimateSize(d, n.L)
 		return l // the filter passes the left flow through
 	case *Select:
-		l := estimateSize(b, n.E)
+		l := estimateSize(d, n.E)
 		return sizeEstimate{l.rows / 2, l.distinct / 2}
 	case *SelectConst:
-		l := estimateSize(b, n.E)
+		l := estimateSize(d, n.E)
 		return sizeEstimate{l.rows / 4, l.distinct / 4}
 	case *ConstTag:
-		return estimateSize(b, n.E)
+		return estimateSize(d, n.E)
 	case *Project:
-		l := estimateSize(b, n.E)
+		l := estimateSize(d, n.E)
 		return sizeEstimate{l.rows, projectDistinct(l, n.Cols, n.E.Arity())}
 	case *Join:
-		l := estimateSize(b, n.L)
-		rows := l.rows * joinBucket(b, n)
+		l := estimateSize(d, n.L)
+		rows := l.rows * joinBucket(d, n)
 		return sizeEstimate{rows, rows}
 	}
 	return sizeEstimate{}
@@ -111,8 +115,8 @@ func projectDistinct(child sizeEstimate, cols []int, arity int) float64 {
 // hash bucket — build rows over estimated distinct join keys — for an
 // equi-join. Keys on m of the build side's a columns estimate as
 // distinct^(m/a), the same independence guess projectDistinct uses.
-func joinBucket(b *streamBuilder, n *Join) float64 {
-	r := estimateSize(b, n.E)
+func joinBucket(d rel.Store, n *Join) float64 {
+	r := estimateSize(d, n.E)
 	m := len(n.Cond.EqPairs())
 	if m == 0 {
 		return r.rows
@@ -136,17 +140,17 @@ func joinBucket(b *streamBuilder, n *Join) float64 {
 // is the estimated per-probe candidate scan of the consuming join (0
 // when the projection does not feed a probe input). The explicit
 // settings override; DedupAuto applies the measured rule.
-func (b *streamBuilder) dedupProjection(n *Project, bucket float64) bool {
-	if b.opts.DedupProjections || b.opts.Dedup == DedupOn {
+func dedupProjection(d rel.Store, opts StreamOptions, n *Project, bucket float64) bool {
+	if opts.DedupProjections || opts.Dedup == DedupOn {
 		return true
 	}
-	if b.opts.Dedup == DedupOff {
+	if opts.Dedup == DedupOff {
 		return false
 	}
 	if bucket <= 1 {
 		return false // nothing to save: each duplicate probe is O(1)
 	}
-	child := estimateSize(b, n.E)
+	child := estimateSize(d, n.E)
 	distinct := projectDistinct(child, n.Cols, n.E.Arity())
 	dups := child.rows - distinct
 	if dups <= 0 {

@@ -317,9 +317,9 @@ func (s *Select) String() string {
 // it as π1..n(σi=n+1(τc(E))); we provide it as a first-class node for
 // convenience, and Desugar rewrites it to the primitive form.
 type SelectConst struct {
-	I  int
-	C  rel.Value
-	E  Expr
+	I int
+	C rel.Value
+	E Expr
 }
 
 // NewSelectConst builds σ_{i=c}(E).

@@ -64,6 +64,13 @@ type StreamOptions struct {
 	// resident cost (see cost.go). DedupOff restores the deferred-only
 	// behavior; DedupOn forces the filter everywhere.
 	Dedup DedupMode
+	// Vectorize runs the columnar batch executor (vector.go) instead of
+	// the tuple-at-a-time one: operators exchange rel.Batch ID columns,
+	// results and traces are identical, throughput is not.
+	Vectorize bool
+	// BatchSize overrides the row capacity of the vectorized executor's
+	// batches; 0 means rel.BatchCap. Only meaningful with Vectorize.
+	BatchSize int
 }
 
 // EvalStreamed evaluates the expression with the streaming executor
@@ -92,12 +99,15 @@ func EvalStreamedTraced(e Expr, d rel.Store) (*rel.Relation, *Trace) {
 // EvalStreamedTracedOpts is EvalStreamedTraced with explicit executor
 // options.
 func EvalStreamedTracedOpts(e Expr, d rel.Store, opts StreamOptions) (*rel.Relation, *Trace) {
+	if opts.Vectorize {
+		return evalVectorizedTraced(e, d, opts)
+	}
 	if err := Validate(e); err != nil {
 		panic("ra: invalid expression: " + err.Error())
 	}
 	meter := &Meter{}
 	b := &streamBuilder{d: d, meter: meter, opts: opts}
-	out := rel.NewRelation(e.Arity())
+	out := rel.NewRelationSized(e.Arity(), sinkHint(d, e))
 	var root *countNode
 	if u, ok := e.(*Union); ok {
 		// A root union's sink would be the result itself: drain both
@@ -272,7 +282,7 @@ func (b *streamBuilder) cursor(e Expr) (Cursor, *countNode) {
 		}
 		cur = dc
 	case *Project:
-		dedup = b.dedupProjection(n, bucket)
+		dedup = dedupProjection(b.d, b.opts, n, bucket)
 		in, kn := b.cursor(n.E)
 		node.kids = []*countNode{kn}
 		cols := n.Cols
@@ -293,7 +303,7 @@ func (b *streamBuilder) cursor(e Expr) (Cursor, *countNode) {
 		tag := rel.Tuple{n.C}
 		cur = &mapCursor{in: in, f: func(t rel.Tuple) rel.Tuple { return t.Concat(tag) }}
 	case *Join:
-		b.probeBucket = joinBucket(b, n)
+		b.probeBucket = joinBucket(b.d, n)
 		l, ln := b.cursor(n.L)
 		node.kids = []*countNode{ln}
 		if eqs := n.Cond.EqPairs(); len(eqs) > 0 {

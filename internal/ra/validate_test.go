@@ -30,8 +30,7 @@ func TestEvalRejectsMalformedExpressions(t *testing.T) {
 		{"join cond right", &Join{L: R("R", 2), E: R("S", 1), Cond: Cond{A(1, OpEq, 2)}}},
 		{"union arity", &Union{L: R("R", 2), E: R("S", 1)}},
 		{"diff arity", &Diff{L: R("S", 1), E: R("R", 2)}},
-		{"nested deep", NewProject([]int{1}, &Union{L: R("R", 2), E: &Select{I: 9, Op: OpEq, J: 1, E: R("R", 2)}}),
-		},
+		{"nested deep", NewProject([]int{1}, &Union{L: R("R", 2), E: &Select{I: 9, Op: OpEq, J: 1, E: R("R", 2)}})},
 	}
 	d := testDB()
 	for _, tc := range cases {

@@ -1,0 +1,242 @@
+package rel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomTuples draws n tuples of the given arity over a small domain,
+// so duplicates occur.
+func randomTuples(rng *rand.Rand, n, arity, domain int) []Tuple {
+	out := make([]Tuple, n)
+	for i := range out {
+		t := make(Tuple, arity)
+		for k := range t {
+			if rng.Intn(4) == 0 {
+				t[k] = Str(fmt.Sprintf("s%d", rng.Intn(domain)))
+			} else {
+				t[k] = Int(int64(rng.Intn(domain)))
+			}
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// TestBatchScanRoundTrip: decoding a relation's batch scan must yield
+// exactly its tuples in insertion order, at several batch sizes,
+// without touching the pool (scan batches are views).
+func TestBatchScanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, arity := range []int{0, 1, 3} {
+		r := NewRelation(arity)
+		for _, tp := range randomTuples(rng, 300, arity, 12) {
+			r.Add(tp)
+		}
+		want := r.Tuples()
+		for _, size := range []int{1, 7, 1024} {
+			live, _, _ := BatchPoolStats()
+			var got []Tuple
+			cur := r.BatchScanSized(size)
+			for b, ok := cur.NextBatch(); ok; b, ok = cur.NextBatch() {
+				for row := 0; row < b.Len(); row++ {
+					got = append(got, b.Row(nil, row))
+				}
+				b.Release()
+			}
+			if after, _, _ := BatchPoolStats(); after != live {
+				t.Fatalf("arity=%d size=%d: view batches leaked into the pool accounting", arity, size)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("arity=%d size=%d: %d rows, want %d", arity, size, len(got), len(want))
+			}
+			for i := range want {
+				if !want[i].Equal(got[i]) {
+					t.Fatalf("arity=%d size=%d: row %d is %v, want %v", arity, size, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAddBatchMatchesAdd: feeding a relation through AddBatch (with a
+// foreign dictionary per batch) must produce exactly the relation
+// built by tuple-wise Add — same set, same insertion order — and
+// report the same new-row count.
+func TestAddBatchMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		arity := rng.Intn(4)
+		tuples := randomTuples(rng, 200, arity, 6)
+		want := NewRelation(arity)
+		wantAdded := 0
+		for _, tp := range tuples {
+			if want.Add(tp) {
+				wantAdded++
+			}
+		}
+		src := NewRelation(arity)
+		for _, tp := range tuples {
+			src.Add(tp)
+		}
+		// Route through ToBatches so batches carry a fresh dictionary,
+		// then AddBatch with duplicates included: replay the raw tuple
+		// stream, not the deduplicated relation.
+		got := NewRelationSized(arity, len(tuples))
+		gotAdded := 0
+		cur := ToBatches(&sliceCursor{ts: tuples}, arity, 17)
+		for b, ok := cur.NextBatch(); ok; b, ok = cur.NextBatch() {
+			gotAdded += got.AddBatch(b)
+			b.Release()
+		}
+		if gotAdded != wantAdded {
+			t.Fatalf("trial %d: AddBatch accepted %d rows, Add %d", trial, gotAdded, wantAdded)
+		}
+		wt, gt := want.Tuples(), got.Tuples()
+		if len(wt) != len(gt) {
+			t.Fatalf("trial %d: %d tuples, want %d", trial, len(gt), len(wt))
+		}
+		for i := range wt {
+			if !wt[i].Equal(gt[i]) {
+				t.Fatalf("trial %d: tuple %d is %v, want %v", trial, i, gt[i], wt[i])
+			}
+		}
+	}
+}
+
+type sliceCursor struct {
+	ts []Tuple
+	i  int
+}
+
+func (c *sliceCursor) Next() (Tuple, bool) {
+	if c.i >= len(c.ts) {
+		return nil, false
+	}
+	t := c.ts[c.i]
+	c.i++
+	return t, true
+}
+
+// TestBatchAdapterRoundTrip: ToTuples∘ToBatches is the identity on any
+// tuple stream, order included, at every batch size.
+func TestBatchAdapterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tuples := randomTuples(rng, 157, 2, 9)
+	for _, size := range []int{1, 2, 64, 1024} {
+		cur := ToTuples(ToBatches(&sliceCursor{ts: tuples}, 2, size))
+		var got []Tuple
+		for tp, ok := cur.Next(); ok; tp, ok = cur.Next() {
+			got = append(got, tp)
+		}
+		if len(got) != len(tuples) {
+			t.Fatalf("size=%d: %d tuples, want %d", size, len(got), len(tuples))
+		}
+		for i := range tuples {
+			if !tuples[i].Equal(got[i]) {
+				t.Fatalf("size=%d: tuple %d is %v, want %v", size, i, got[i], tuples[i])
+			}
+		}
+	}
+}
+
+// TestIDMap: interning and read-only lookup across dictionaries, with
+// the negative cache.
+func TestIDMap(t *testing.T) {
+	src, dst := NewInterner(), NewInterner()
+	a, b := src.Intern(Int(1)), src.Intern(Str("x"))
+	dst.Intern(Str("x"))
+	x := NewIDMap(dst)
+	if id, ok := x.Lookup(src, b); !ok || dst.Value(id) != Str("x") {
+		t.Fatalf("Lookup of shared value failed: id=%d ok=%v", id, ok)
+	}
+	if _, ok := x.Lookup(src, a); ok {
+		t.Fatal("Lookup found a value absent from the target")
+	}
+	if dst.Len() != 1 {
+		t.Fatalf("Lookup mutated the target dictionary: %d values", dst.Len())
+	}
+	id := x.Intern(src, a)
+	if dst.Value(id) != Int(1) || dst.Len() != 2 {
+		t.Fatalf("Intern failed: value %v, len %d", dst.Value(id), dst.Len())
+	}
+	// The identity fast path.
+	if got, ok := x.Lookup(dst, id); !ok || got != id {
+		t.Fatal("identity lookup failed")
+	}
+}
+
+// TestBatchPoolRecycles: released batches come back from the pool
+// reshaped, and view batches never enter it.
+func TestBatchPoolRecycles(t *testing.T) {
+	b := NewBatch(3)
+	if b.Arity() != 3 || b.Cap() != BatchCap || b.Len() != 0 {
+		t.Fatalf("fresh batch: arity %d cap %d len %d", b.Arity(), b.Cap(), b.Len())
+	}
+	b.Release()
+	c := NewBatchSized(5, 64)
+	if c.Arity() != 5 || c.Cap() != 64 {
+		t.Fatalf("reshaped batch: arity %d cap %d", c.Arity(), c.Cap())
+	}
+	if c.Full() {
+		t.Fatal("empty batch reports full")
+	}
+	c.Release()
+}
+
+// TestRelationSizedEquivalent: a pre-sized relation behaves exactly
+// like a grown one.
+func TestRelationSizedEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tuples := randomTuples(rng, 300, 2, 8)
+	grown, sized := NewRelation(2), NewRelationSized(2, len(tuples))
+	for _, tp := range tuples {
+		if grown.Add(tp) != sized.Add(tp) {
+			t.Fatal("Add disagrees between sized and grown relations")
+		}
+	}
+	gt, st := grown.Tuples(), sized.Tuples()
+	for i := range gt {
+		if !gt[i].Equal(st[i]) {
+			t.Fatalf("tuple %d differs", i)
+		}
+	}
+}
+
+// TestArenaCloneIsolation: tuples returned by Tuples share the clone
+// arena, so an append through a returned tuple must reallocate rather
+// than scribble over the next stored tuple.
+func TestArenaCloneIsolation(t *testing.T) {
+	r := NewRelation(2)
+	r.Add(Ints(1, 2))
+	r.Add(Ints(3, 4))
+	ts := r.Tuples()
+	_ = append(ts[0], Int(99)) // must copy, not overwrite ts[1]'s storage
+	if !r.Tuples()[1].Equal(Ints(3, 4)) {
+		t.Fatal("append through a returned tuple corrupted the next stored tuple")
+	}
+	if !r.Contains(Ints(3, 4)) {
+		t.Fatal("index lost a tuple after aliased append")
+	}
+}
+
+// TestBatchedStoreEquality: the Batched wrapper preserves store
+// contents and scan order.
+func TestBatchedStoreEquality(t *testing.T) {
+	d := NewDatabase(NewSchema(map[string]int{"R": 2}))
+	d.AddInts("R", 1, 2)
+	d.AddInts("R", 3, 4)
+	d.AddInts("R", 1, 2)
+	w := Batched(d, 1)
+	if !StoresEqual(d, w) {
+		t.Fatal("batched store differs from its base")
+	}
+	c := w.View("R").Scan()
+	t1, _ := c.Next()
+	c.Reset()
+	t2, _ := c.Next()
+	if !t1.Equal(Ints(1, 2)) || !t2.Equal(Ints(1, 2)) {
+		t.Fatalf("batched scan/reset order broken: %v, %v", t1, t2)
+	}
+}

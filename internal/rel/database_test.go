@@ -193,10 +193,10 @@ func TestTextRoundTrip(t *testing.T) {
 
 func TestReadTextErrors(t *testing.T) {
 	cases := []string{
-		"@R x",           // bad declaration
-		"@R 2\nR 1,2,3",  // arity mismatch
-		"justonetoken",   // no tuple
-		"@R 2\n@R 3",     // redeclaration
+		"@R x",          // bad declaration
+		"@R 2\nR 1,2,3", // arity mismatch
+		"justonetoken",  // no tuple
+		"@R 2\n@R 3",    // redeclaration
 	}
 	for _, c := range cases {
 		if _, err := ReadText(strings.NewReader(c)); err == nil {

@@ -15,12 +15,23 @@ import (
 // Interner and an integer hash index, so Add and Contains never build
 // the Tuple.Key string encodings (those remain available to callers
 // that need an injective encoding without a dictionary).
+//
+// Besides the tuple slice, the relation keeps its interned IDs in flat
+// per-attribute columns (struct-of-arrays), appended at Add time. The
+// columns are what BatchScan emits — the vectorized executors scan
+// stored relations without re-interning a single value — and what the
+// deduplication probes compare, turning candidate verification into
+// uint32 comparisons.
 type Relation struct {
 	arity  int
 	tuples []Tuple
+	cols   [][]uint32 // arity flat ID columns, one entry per stored tuple
 	intern *Interner
-	index  map[uint64][]int32 // HashIDs of interned tuple -> candidate positions
-	idbuf  []uint32           // scratch for Add/Contains, avoids per-call allocation
+	index  map[uint64]int32 // HashIDs of interned tuple -> 1 + chain head position
+	next   []int32          // per tuple: 1 + next position in its hash chain (0 ends)
+	idbuf  []uint32         // scratch for Add/Contains, avoids per-call allocation
+	arena  []Value          // chunked backing storage for stored tuple clones
+	xlat   *IDMap           // lazy translation cache for AddBatch sinks
 }
 
 // NewRelation returns an empty relation of the given arity. Arity 0 is
@@ -32,9 +43,56 @@ func NewRelation(arity int) *Relation {
 	}
 	return &Relation{
 		arity:  arity,
+		cols:   make([][]uint32, arity),
 		intern: NewInterner(),
-		index:  make(map[uint64][]int32),
+		index:  make(map[uint64]int32),
 		idbuf:  make([]uint32, arity),
+	}
+}
+
+// NewRelationSized returns an empty relation of the given arity with
+// capacity for about n tuples pre-allocated: tuple storage, the ID
+// columns, the clone arena and the hash index all start at their final
+// size instead of growing from zero through every doubling. Evaluator
+// sinks and store materialization use it whenever a cardinality (or a
+// decent estimate) is known up front.
+func NewRelationSized(arity, n int) *Relation {
+	r := NewRelation(arity)
+	if n > 0 {
+		r.index = make(map[uint64]int32, n)
+		r.Reserve(n)
+	}
+	return r
+}
+
+// Reserve grows the relation's storage (tuples, ID columns, arena) to
+// hold n more tuples without reallocation. The dedup index map cannot
+// be re-sized after creation; use NewRelationSized when the final
+// cardinality is known at construction.
+func (r *Relation) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	want := len(r.tuples) + n
+	if cap(r.tuples) < want {
+		ts := make([]Tuple, len(r.tuples), want)
+		copy(ts, r.tuples)
+		r.tuples = ts
+	}
+	for k := range r.cols {
+		if cap(r.cols[k]) < want {
+			c := make([]uint32, len(r.cols[k]), want)
+			copy(c, r.cols[k])
+			r.cols[k] = c
+		}
+	}
+	if cap(r.next) < want {
+		nx := make([]int32, len(r.next), want)
+		copy(nx, r.next)
+		r.next = nx
+	}
+	if r.arity > 0 && cap(r.arena)-len(r.arena) < n*r.arity {
+		r.arena = make([]Value, 0, n*r.arity)
 	}
 }
 
@@ -75,7 +133,11 @@ func (r *Relation) Len() int { return len(r.tuples) }
 
 // Add inserts a tuple, ignoring duplicates. It reports whether the
 // tuple was new. It panics if the tuple has the wrong arity. The
-// relation stores a clone, so the caller keeps ownership of t.
+// relation stores a clone, so the caller keeps ownership of t; the
+// clone's backing storage comes from a chunked arena, so the steady-
+// state allocation cost of an accepted tuple is well under one
+// allocation (one arena chunk per arenaChunkRows tuples, plus the
+// amortized growth of the columns and the tuple slice).
 func (r *Relation) Add(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("rel: tuple arity %d inserted into relation of arity %d", len(t), r.arity))
@@ -85,13 +147,57 @@ func (r *Relation) Add(t Tuple) bool {
 		ids[i] = r.intern.Intern(v)
 	}
 	h := HashIDs(ids)
-	for _, pos := range r.index[h] {
-		if r.tuples[pos].Equal(t) {
+	for pos := r.index[h]; pos != 0; pos = r.next[pos-1] {
+		if r.rowEqualIDs(int(pos-1), ids) {
 			return false
 		}
 	}
-	r.index[h] = append(r.index[h], int32(len(r.tuples)))
-	r.tuples = append(r.tuples, t.Clone())
+	r.appendRow(t, ids, h)
+	return true
+}
+
+// arenaChunkRows is the arena growth unit: one []Value allocation
+// backs the clones of this many stored tuples.
+const arenaChunkRows = 256
+
+// appendRow stores a verified-new tuple: clone into the arena, IDs
+// into the columns, position into the index bucket for hash h.
+func (r *Relation) appendRow(t Tuple, ids []uint32, h uint64) {
+	// Chain through a flat array instead of per-bucket slices: a new
+	// tuple costs zero bucket allocations, and the index map holds one
+	// int32 per distinct hash.
+	r.next = append(r.next, r.index[h])
+	r.index[h] = int32(len(r.tuples)) + 1
+	var clone Tuple
+	if r.arity > 0 {
+		if cap(r.arena)-len(r.arena) < r.arity {
+			r.arena = make([]Value, 0, arenaChunkRows*r.arity)
+		}
+		off := len(r.arena)
+		r.arena = r.arena[:off+r.arity]
+		// Full slice expression: the clone's capacity ends at its own
+		// storage, so an append by a caller can never scribble over the
+		// next tuple's values.
+		clone = Tuple(r.arena[off : off+r.arity : off+r.arity])
+		copy(clone, t)
+	} else {
+		clone = Tuple{}
+	}
+	r.tuples = append(r.tuples, clone)
+	for k := range r.cols {
+		r.cols[k] = append(r.cols[k], ids[k])
+	}
+}
+
+// rowEqualIDs reports whether the stored tuple at position pos has
+// exactly the given interned IDs. Interning is injective, so ID
+// equality is value equality.
+func (r *Relation) rowEqualIDs(pos int, ids []uint32) bool {
+	for k, id := range ids {
+		if r.cols[k][pos] != id {
+			return false
+		}
+	}
 	return true
 }
 
@@ -110,12 +216,71 @@ func (r *Relation) Contains(t Tuple) bool {
 		}
 		ids = append(ids, id)
 	}
-	for _, pos := range r.index[HashIDs(ids)] {
-		if r.tuples[pos].Equal(t) {
+	return r.ContainsIDs(ids)
+}
+
+// ContainsIDs reports membership of the tuple whose components have
+// the given IDs in the relation's own dictionary — the probe primitive
+// of the vectorized difference and division operators, which translate
+// batch IDs once and then probe without touching values. Read-only and
+// safe for concurrent use with other readers.
+func (r *Relation) ContainsIDs(ids []uint32) bool {
+	if len(ids) != r.arity {
+		return false
+	}
+	for pos := r.index[HashIDs(ids)]; pos != 0; pos = r.next[pos-1] {
+		if r.rowEqualIDs(int(pos-1), ids) {
 			return true
 		}
 	}
 	return false
+}
+
+// AddBatch inserts every row of the batch in row order, deduplicating
+// exactly like Add, and reports how many rows were new. Batch IDs are
+// translated into the relation's dictionary through a cached IDMap, so
+// a sink fed by a long batch stream interns each distinct (dictionary,
+// ID) pair once and then runs on array lookups. The batch is read, not
+// retained; the caller keeps ownership. The cache pins the source
+// dictionaries it has seen — call DropBatchCache once the stream is
+// exhausted so a long-lived result relation does not keep a whole
+// plan's dictionaries reachable.
+func (r *Relation) AddBatch(b *Batch) int {
+	if b.Arity() != r.arity {
+		panic(fmt.Sprintf("rel: batch arity %d added to relation of arity %d", b.Arity(), r.arity))
+	}
+	if r.xlat == nil {
+		r.xlat = NewIDMap(r.intern)
+	}
+	ids := r.idbuf
+	added := 0
+	var tbuf Tuple
+	for row := 0; row < b.Len(); row++ {
+		for k := 0; k < r.arity; k++ {
+			ids[k] = r.xlat.Intern(b.dicts[k], b.cols[k][row])
+		}
+		h := HashIDs(ids)
+		dup := false
+		for pos := r.index[h]; pos != 0; pos = r.next[pos-1] {
+			if r.rowEqualIDs(int(pos-1), ids) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if cap(tbuf) < r.arity {
+			tbuf = make(Tuple, r.arity)
+		}
+		tbuf = tbuf[:r.arity]
+		for k := range tbuf {
+			tbuf[k] = r.intern.Value(ids[k])
+		}
+		r.appendRow(tbuf, ids, h)
+		added++
+	}
+	return added
 }
 
 // Tuples returns the tuples in insertion order. The returned slice is
@@ -163,11 +328,75 @@ func (c *Cursor) Reset() { c.i = 0 }
 // so scanning it is exactly Cursor().
 func (r *Relation) Scan() TupleCursor { return r.Cursor() }
 
+// BatchScan implements BatchScanner: columnar batches over the
+// relation's stored ID columns in insertion order, without decoding or
+// re-interning anything. The yielded batches are views aliasing the
+// relation's storage — read-only, valid until the next NextBatch call,
+// their Release a no-op — so a full scan allocates nothing per row.
+// The relation must not be modified while the cursor is in use.
+func (r *Relation) BatchScan() BatchCursor { return r.BatchScanSized(BatchCap) }
+
+// BatchScanSized is BatchScan with an explicit batch size, for the
+// batch-size sweeps of the experiments and tests.
+func (r *Relation) BatchScanSized(size int) BatchCursor {
+	if size < 1 {
+		size = BatchCap
+	}
+	c := &relBatchCursor{r: r, size: size}
+	c.view.view = true
+	c.view.cols = make([][]uint32, r.arity)
+	c.view.dicts = make([]*Interner, r.arity)
+	for k := range c.view.dicts {
+		c.view.dicts[k] = r.intern
+	}
+	return c
+}
+
+// relBatchCursor yields view batches over a relation's ID columns. The
+// single view batch is re-sliced per call, so the previous batch is
+// invalidated by the next NextBatch — exactly the ownership contract.
+type relBatchCursor struct {
+	r    *Relation
+	size int
+	i    int
+	view Batch
+}
+
+func (c *relBatchCursor) NextBatch() (*Batch, bool) {
+	n := len(c.r.tuples)
+	if c.i >= n {
+		return nil, false
+	}
+	hi := c.i + c.size
+	if hi > n {
+		hi = n
+	}
+	for k := range c.view.cols {
+		c.view.cols[k] = c.r.cols[k][c.i:hi]
+	}
+	c.view.n = hi - c.i
+	c.view.capacity = c.view.n
+	c.i = hi
+	return &c.view, true
+}
+
 // At returns the tuple at position i in insertion order, shared with
 // the relation: read-only. It is the random-access primitive the
 // sharded store's placement log uses to replay global insertion order
 // across shard-local relations.
 func (r *Relation) At(i int) Tuple { return r.tuples[i] }
+
+// DropBatchCache releases the AddBatch translation cache and the
+// source dictionaries it references. Call it when a batch stream has
+// been fully drained; a later AddBatch simply rebuilds the cache.
+func (r *Relation) DropBatchCache() { r.xlat = nil }
+
+// IDColumns returns the relation's stored ID columns and the
+// dictionary decoding them — the zero-copy substrate of the vectorized
+// executors' in-place operators (a cartesian join replays a stored
+// relation by block-copying its columns). Both are read-only views of
+// live storage: the relation must not be modified while they are held.
+func (r *Relation) IDColumns() ([][]uint32, *Interner) { return r.cols, r.intern }
 
 // Sorted returns the tuples in lexicographic order as a fresh slice.
 func (r *Relation) Sorted() []Tuple {
@@ -183,7 +412,7 @@ func (r *Relation) Sorted() []Tuple {
 // adds to either side after cloning can never corrupt the other's
 // deduplication (regression-tested in TestCloneInternerIndependence).
 func (r *Relation) Clone() *Relation {
-	c := NewRelation(r.arity)
+	c := NewRelationSized(r.arity, len(r.tuples))
 	for _, t := range r.tuples {
 		c.Add(t)
 	}

@@ -79,12 +79,20 @@ func Materialized(s Store, name string) (r *Relation, aliased bool) {
 		return d.Rel(name), true
 	}
 	v := s.View(name)
-	r = NewRelation(v.Arity())
+	r = NewRelationSized(v.Arity(), v.Len())
 	c := v.Scan()
 	for t, ok := c.Next(); ok; t, ok = c.Next() {
 		r.Add(t)
 	}
 	return r, false
+}
+
+// Reserver is the optional capacity-hint hook of a Store: Reserve
+// pre-sizes the named relation's storage for n more tuples. *Database
+// implements it; CopyStore uses it so bulk loads never grow storage
+// from zero.
+type Reserver interface {
+	Reserve(name string, n int)
 }
 
 // CopyStore adds every tuple of src into dst, relations in schema name
@@ -93,8 +101,13 @@ func Materialized(s Store, name string) (r *Relation, aliased bool) {
 // backend. Every relation of src's schema must exist in dst's schema
 // with the same arity; dst keeps any relations of its own.
 func CopyStore(dst, src Store) {
+	res, _ := dst.(Reserver)
 	for _, name := range src.Schema().Names() {
-		c := src.View(name).Scan()
+		v := src.View(name)
+		if res != nil {
+			res.Reserve(name, v.Len())
+		}
+		c := v.Scan()
 		for t, ok := c.Next(); ok; t, ok = c.Next() {
 			dst.Add(name, t)
 		}

@@ -1,0 +1,71 @@
+package sa
+
+import (
+	"fmt"
+	"testing"
+
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+	"radiv/internal/workload"
+)
+
+// TestStreamedOnBatchedStore is the batch↔tuple adapter-equivalence
+// suite for the semijoin algebra: the streaming evaluator runs over a
+// store whose every scan is routed through the columnar batch adapters
+// (tuple → rel.Batch → tuple), at batch sizes 1, 2 and 1024, and must
+// emit exactly what it emits on the bare store — same tuples, same
+// order. Plans cover the algebra-specific operators (semijoin,
+// antijoin, theta conditions) on top of the shared RA substrate.
+func TestStreamedOnBatchedStore(t *testing.T) {
+	corpus := []struct {
+		name string
+		e    Expr
+	}{
+		{"stored", R("R", 2)},
+		{"semijoin", NewSemijoin(R("R", 2), ra.Eq(2, 1), R("S", 2))},
+		{"antijoin", NewAntijoin(R("R", 2), ra.Eq(2, 2), R("S", 2))},
+		{"semijoin-theta", NewSemijoin(R("R", 2), ra.Lt(1, 2), R("S", 2))},
+		{"project-antijoin", NewProject([]int{2}, NewAntijoin(R("R", 2), ra.Eq(1, 1), R("S", 2)))},
+		{"union-semijoin", NewUnion(NewSemijoin(R("R", 2), ra.Eq(2, 1), R("S", 2)), R("S", 2))},
+		{"diff", NewDiff(R("R", 2), R("S", 2))},
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		d := setJoinDatabase(seed)
+		for _, c := range corpus {
+			want := EvalStreamed(c.e, d).Tuples()
+			for _, size := range []int{1, 2, 1024} {
+				got := EvalStreamed(c.e, rel.Batched(d, size)).Tuples()
+				if len(got) != len(want) {
+					t.Fatalf("%s seed %d size=%d: %d tuples, want %d", c.name, seed, size, len(got), len(want))
+				}
+				for i := range want {
+					if !want[i].Equal(got[i]) {
+						t.Fatalf("%s seed %d size=%d: tuple %d is %v, want %v", c.name, seed, size, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedStoreRandomizedDivisionFamily runs the ST2 antijoin shape
+// over batched stores on the division workload family.
+func TestBatchedStoreRandomizedDivisionFamily(t *testing.T) {
+	e := NewProject([]int{1}, NewAntijoin(R("R", 2), ra.Eq(2, 1), R("S", 1)))
+	for seed := int64(0); seed < 10; seed++ {
+		d := workload.RandomDivision(seed).Database()
+		want := EvalStreamed(e, d).Tuples()
+		for _, size := range []int{1, 2, 1024} {
+			got := EvalStreamed(e, rel.Batched(d, size)).Tuples()
+			if len(got) != len(want) {
+				t.Fatalf("seed %d size=%d: %d tuples, want %d", seed, size, len(got), len(want))
+			}
+			for i := range want {
+				if !want[i].Equal(got[i]) {
+					t.Fatalf("seed %d size=%d: tuple %d is %v, want %v", seed, size, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	_ = fmt.Sprint
+}

@@ -95,19 +95,49 @@ func (p ParallelSignatureContainment) Join(r, s []*Group) (*rel.Relation, Stats)
 }
 
 // streamJoinChanCap bounds the per-chunk output channels of the
-// JoinStream variants; see engine.OrderedMerge.
-const streamJoinChanCap = 128
+// JoinStream variants, in result chunks of up to engine.ChunkCap
+// pairs each; see engine.OrderedMergeChunks.
+const streamJoinChanCap = 4
+
+// chunkSender batches one worker's emissions: pairs accumulate in a
+// buffer of engine.ChunkCap rows that is sent as a whole when full —
+// one channel operation per chunk instead of per pair, the exchange
+// half of the vectorized-execution work.
+type chunkSender struct {
+	ch  chan []rel.Tuple
+	buf []rel.Tuple
+}
+
+func (s *chunkSender) send(t rel.Tuple) {
+	if s.buf == nil {
+		s.buf = make([]rel.Tuple, 0, engine.ChunkCap)
+	}
+	s.buf = append(s.buf, t)
+	if len(s.buf) == engine.ChunkCap {
+		s.ch <- s.buf
+		s.buf = nil
+	}
+}
+
+func (s *chunkSender) closeFlush() {
+	if len(s.buf) > 0 {
+		s.ch <- s.buf
+		s.buf = nil
+	}
+	close(s.ch)
+}
 
 // JoinStream runs the signature containment join on the worker pool
 // and produces the result as a cursor: contiguous R chunks are
 // verified concurrently, each streaming its (a, c) pairs through a
-// bounded channel, and the returned cursor drains the chunks in chunk
-// order — the exact sequential SignatureContainment emission sequence
-// — while later chunks are still being verified. Partition boundaries
-// hold no materialized output; backpressure from the bounded channels
-// paces workers that run ahead of the consumer. The cursor must be
-// drained to exhaustion. With one worker the sequential join runs
-// inline and its result is streamed.
+// bounded channel in engine.ChunkCap-pair batches, and the returned
+// cursor drains the chunks in chunk order — the exact sequential
+// SignatureContainment emission sequence — while later chunks are
+// still being verified. Partition boundaries hold no materialized
+// output beyond one in-flight buffer per worker; backpressure from
+// the bounded channels paces workers that run ahead of the consumer.
+// The cursor must be drained to exhaustion. With one worker the
+// sequential join runs inline and its result is streamed.
 //
 // The byte-identical guarantee assumes distinct group keys per side,
 // which Groups establishes; a hand-built list repeating a key can make
@@ -120,12 +150,13 @@ func (p ParallelSignatureContainment) JoinStream(r, s []*Group) engine.Cursor {
 		return res.Cursor()
 	}
 	chunks := chunkRanges(len(r), ex.PartitionCount())
-	chans := make([]chan rel.Tuple, len(chunks))
+	chans := make([]chan []rel.Tuple, len(chunks))
 	for c := range chans {
-		chans[c] = make(chan rel.Tuple, streamJoinChanCap)
+		chans[c] = make(chan []rel.Tuple, streamJoinChanCap)
 	}
 	go ex.Run(len(chunks), func(c int) {
-		defer close(chans[c])
+		snd := chunkSender{ch: chans[c]}
+		defer snd.closeFlush()
 		var cmp int
 		for _, gr := range r[chunks[c][0]:chunks[c][1]] {
 			for _, gs := range s {
@@ -133,12 +164,12 @@ func (p ParallelSignatureContainment) JoinStream(r, s []*Group) engine.Cursor {
 					continue
 				}
 				if gr.ContainsAll(gs, &cmp) {
-					chans[c] <- rel.Tuple{gr.Key, gs.Key}
+					snd.send(rel.Tuple{gr.Key, gs.Key})
 				}
 			}
 		}
 	})
-	return engine.OrderedMerge(chans)
+	return engine.OrderedMergeChunks(chans)
 }
 
 // ParallelHashEquality is the canonical-encoding hash equality join
@@ -205,12 +236,12 @@ func (p ParallelHashEquality) Join(r, s []*Group) (*rel.Relation, Stats) {
 // JoinStream is the cursor-producing hash equality join: the R-side
 // index and shared dictionary are built sequentially, then contiguous
 // S chunks probe concurrently (read-only, via Dict.ProbeKey) and
-// stream their pairs through bounded channels merged in chunk order —
-// the exact sequential HashEquality emission sequence. The cursor must
-// be drained to exhaustion. With one worker the sequential join runs
-// inline and its result is streamed. As with JoinStream on the
-// containment side, byte-identity assumes the distinct group keys
-// Groups establishes.
+// stream their pairs through bounded channels in engine.ChunkCap-pair
+// batches merged in chunk order — the exact sequential HashEquality
+// emission sequence. The cursor must be drained to exhaustion. With
+// one worker the sequential join runs inline and its result is
+// streamed. As with JoinStream on the containment side, byte-identity
+// assumes the distinct group keys Groups establishes.
 func (p ParallelHashEquality) JoinStream(r, s []*Group) engine.Cursor {
 	ex := engine.Executor{Workers: p.Workers}
 	if ex.WorkerCount() <= 1 {
@@ -218,9 +249,9 @@ func (p ParallelHashEquality) JoinStream(r, s []*Group) engine.Cursor {
 		return res.Cursor()
 	}
 	chunks := chunkRanges(len(s), ex.PartitionCount())
-	chans := make([]chan rel.Tuple, len(chunks))
+	chans := make([]chan []rel.Tuple, len(chunks))
 	for c := range chans {
-		chans[c] = make(chan rel.Tuple, streamJoinChanCap)
+		chans[c] = make(chan []rel.Tuple, streamJoinChanCap)
 	}
 	go func() {
 		dict := NewDict()
@@ -230,17 +261,18 @@ func (p ParallelHashEquality) JoinStream(r, s []*Group) engine.Cursor {
 			index[k] = append(index[k], gr)
 		}
 		ex.Run(len(chunks), func(c int) {
-			defer close(chans[c])
+			snd := chunkSender{ch: chans[c]}
+			defer snd.closeFlush()
 			for _, gs := range s[chunks[c][0]:chunks[c][1]] {
 				k, ok := dict.ProbeKey(gs)
 				if !ok {
 					continue
 				}
 				for _, gr := range index[k] {
-					chans[c] <- rel.Tuple{gr.Key, gs.Key}
+					snd.send(rel.Tuple{gr.Key, gs.Key})
 				}
 			}
 		})
 	}()
-	return engine.OrderedMerge(chans)
+	return engine.OrderedMergeChunks(chans)
 }

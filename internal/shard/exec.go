@@ -67,21 +67,29 @@ func Divide(db *Database, rName, sName string, sem division.Semantics, workers i
 	sRel, _ := rel.Materialized(db, sName) // broadcast side, read-only
 	dt := division.NewDivisorTable(sRel)
 	n := db.NumShards()
-	cursors := make([]engine.Cursor, n)
+	// Shard-local dividends flow as columnar batches straight off the
+	// relations' stored ID columns: no tuple decoding, no re-interning —
+	// each worker runs the vectorized bitmap scheme on flat uint32
+	// columns.
+	cursors := make([]engine.BatchCursor, n)
 	for q := range cursors {
-		cursors[q] = db.Shard(q).Rel(rName).Cursor()
+		cursors[q] = db.Shard(q).Rel(rName).BatchScan()
 	}
 	qualified := make([]map[rel.Value]bool, n)
 	resident := make([]int, n)
-	engine.Executor{Workers: workers}.StreamSharded(cursors, func(q int, shard engine.Cursor) {
+	engine.Executor{Workers: workers}.StreamShardedBatches(cursors, func(q int, shard engine.BatchCursor) {
 		var st division.Stats
-		qualified[q], st = dt.DivideShard(shard, sem)
+		qualified[q], st = dt.DivideShardBatches(shard, sem)
 		resident[q] = st.MaxMemoryTuples
 	})
 	st := Stats{ShardResident: resident}
 	mergeStart := time.Now()
-	out := rel.NewRelation(1)
 	rt := db.Router(rName)
+	hint := 0
+	if rt != nil {
+		hint = rt.Len()
+	}
+	out := rel.NewRelationSized(1, hint)
 	for gid := 0; rt != nil && gid < rt.Len(); gid++ {
 		st.Merged++
 		v := rt.Value(uint32(gid))
@@ -161,7 +169,22 @@ func shardedSetJoin(db *Database, rName, sName string, workers int, containment 
 	})
 	st := Stats{ShardResident: resident}
 	mergeStart := time.Now()
-	out := rel.NewRelation(2)
+	// The merge's output cardinality is the sum of the per-shard pair
+	// lists: size the sink exactly, so the gid-ordered splice never
+	// grows a map.
+	pairs := 0
+	for q := 0; q < n; q++ {
+		if containment {
+			for _, ps := range containPairs[q] {
+				pairs += len(ps)
+			}
+		} else {
+			for _, ps := range eqPairs[q] {
+				pairs += len(ps)
+			}
+		}
+	}
+	out := rel.NewRelationSized(2, pairs)
 	if containment {
 		// R-major merge: walk the dividend router's gids in order and
 		// splice in each group's pair list from its owning shard.

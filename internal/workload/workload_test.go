@@ -4,8 +4,8 @@ import (
 	"testing"
 
 	"radiv/internal/division"
-	"radiv/internal/setjoin"
 	"radiv/internal/rel"
+	"radiv/internal/setjoin"
 )
 
 func TestDivisionWorkloadDeterministic(t *testing.T) {

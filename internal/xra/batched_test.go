@@ -1,0 +1,79 @@
+package xra
+
+import (
+	"testing"
+
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+	"radiv/internal/workload"
+)
+
+// TestStreamedOnBatchedStore is the batch↔tuple adapter-equivalence
+// suite for the extended algebra: streaming evaluation over a store
+// whose scans run through the columnar batch adapters must emit
+// exactly the bare-store sequence at batch sizes 1, 2 and 1024,
+// covering γ in its keying configurations, wrapped RA subplans with
+// blocking sinks, and the γ-division expressions.
+func TestStreamedOnBatchedStore(t *testing.T) {
+	r2 := &Wrap{E: ra.R("R", 2)}
+	s2 := &Wrap{E: ra.R("S", 2)}
+	corpus := []struct {
+		name string
+		e    Expr
+	}{
+		{"wrap-stored", r2},
+		{"wrap-diff", &Wrap{E: ra.NewDiff(ra.R("R", 2), ra.R("S", 2))}},
+		{"gamma-star", NewGamma([]int{1}, 0, r2)},
+		{"gamma-distinct", NewGamma([]int{1}, 2, r2)},
+		{"gamma-grand", NewGamma(nil, 1, r2)},
+		{"join-eq", NewJoin(r2, ra.Eq(2, 1), s2)},
+		{"join-theta", NewJoin(r2, ra.Lt(2, 1), s2)},
+		{"gamma-of-join", NewGamma([]int{1}, 3, NewJoin(r2, ra.Eq(2, 1), s2))},
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		r, s := workload.RandomSetJoin(seed).Generate()
+		d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 2, "S": 2}))
+		for _, tp := range r.Tuples() {
+			d.Add("R", tp)
+		}
+		for _, tp := range s.Tuples() {
+			d.Add("S", tp)
+		}
+		for _, c := range corpus {
+			want := EvalStreamed(c.e, d).Tuples()
+			for _, size := range []int{1, 2, 1024} {
+				got := EvalStreamed(c.e, rel.Batched(d, size)).Tuples()
+				if len(got) != len(want) {
+					t.Fatalf("%s seed %d size=%d: %d tuples, want %d", c.name, seed, size, len(got), len(want))
+				}
+				for i := range want {
+					if !want[i].Equal(got[i]) {
+						t.Fatalf("%s seed %d size=%d: tuple %d is %v, want %v", c.name, seed, size, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedStoreGammaDivision runs the Section 5 γ-division over
+// batched stores on the randomized division family.
+func TestBatchedStoreGammaDivision(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		d := workload.RandomDivision(seed).Database()
+		for _, e := range []Expr{ContainmentDivision("R", "S"), EqualityDivision("R", "S")} {
+			want := EvalStreamed(e, d).Tuples()
+			for _, size := range []int{1, 2, 1024} {
+				got := EvalStreamed(e, rel.Batched(d, size)).Tuples()
+				if len(got) != len(want) {
+					t.Fatalf("seed %d size=%d: %d tuples, want %d", seed, size, len(got), len(want))
+				}
+				for i := range want {
+					if !want[i].Equal(got[i]) {
+						t.Fatalf("seed %d size=%d: tuple %d is %v, want %v", seed, size, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}

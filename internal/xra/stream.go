@@ -253,4 +253,3 @@ func (c *gammaCursor) Next() (rel.Tuple, bool) {
 	}
 	return nil, false
 }
-

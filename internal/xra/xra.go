@@ -226,10 +226,10 @@ func eval(e Expr, d rel.Store, tr *Trace) *rel.Relation {
 // materialized evaluator consumes relations, which are sets already.
 type gammaAgg struct {
 	g       *Gamma
-	keys    *rel.Interner          // group-column values -> IDs
-	vals    *rel.Interner          // counted-column values -> IDs
-	buckets map[uint64][]int32     // HashIDs of the group-key IDs -> group indices
-	groups  []*gammaGroup          // first-occurrence order
+	keys    *rel.Interner      // group-column values -> IDs
+	vals    *rel.Interner      // counted-column values -> IDs
+	buckets map[uint64][]int32 // HashIDs of the group-key IDs -> group indices
+	groups  []*gammaGroup      // first-occurrence order
 	idbuf   []uint32
 	seenT   *rel.Relation // distinct input tuples; only when dedupAll and CountCol == 0
 	// held counts the accumulator entries charged to the meter by the
@@ -384,9 +384,9 @@ func evalJoin(cond ra.Cond, l, r *rel.Relation) *rel.Relation {
 func ContainmentDivision(rName, sName string) Expr {
 	r := &Wrap{E: ra.R(rName, 2)}
 	s := &Wrap{E: ra.R(sName, 1)}
-	matched := NewJoin(r, ra.Eq(2, 1), s)          // (A, B, C) with B = C
-	perGroup := NewGamma([]int{1}, 2, matched)     // (A, count B)
-	total := NewGamma(nil, 1, s)                   // (count C)
+	matched := NewJoin(r, ra.Eq(2, 1), s)           // (A, B, C) with B = C
+	perGroup := NewGamma([]int{1}, 2, matched)      // (A, count B)
+	total := NewGamma(nil, 1, s)                    // (count C)
 	joined := NewJoin(perGroup, ra.Eq(2, 1), total) // counts equal
 	return NewProject([]int{1}, joined)
 }

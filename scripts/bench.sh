@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run the tier-1 benchmark set with -benchmem and write the
+# results as JSON (default: BENCH_5.json), so every PR from here on has
+# a machine-readable perf baseline. CI uploads the file as an artifact.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+# Environment:
+#   BENCH_PATTERN  benchmark regexp (default: all root-module benchmarks)
+#   BENCHTIME      go test -benchtime value (default: 1x — smoke speed;
+#                  use e.g. 2s locally for stable numbers)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_5.json}"
+pattern="${BENCH_PATTERN:-.}"
+benchtime="${BENCHTIME:-1x}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee "$raw"
+
+awk '
+BEGIN { first = 1 }
+/^goos: /   { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    if (first) {
+        printf "{\"env\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\"},\n", goos, goarch, cpu
+        printf " \"benchmarks\": [\n"
+    }
+    name = $1
+    iters = $2
+    metrics = ""
+    # Remaining fields come in value-unit pairs (ns/op, B/op,
+    # allocs/op, and any custom b.ReportMetric units).
+    for (i = 3; i + 1 <= NF; i += 2) {
+        v = $i; u = $(i + 1)
+        gsub(/"/, "\\\"", u)
+        if (metrics != "") metrics = metrics ", "
+        metrics = metrics "\"" u "\": " v
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}", name, iters, metrics
+}
+END {
+    if (first) { print "{\"env\": {}, \"benchmarks\": [" }
+    printf "\n]}\n"
+}' "$raw" > "$out"
+
+echo "wrote $(grep -c '"name"' "$out") benchmark entries to $out" >&2
