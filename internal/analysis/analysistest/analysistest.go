@@ -1,0 +1,161 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against expectations written in the fixture
+// sources — a standard-library reimplementation of the x/tools
+// package of the same name, for the same fixture layout and comment
+// grammar:
+//
+//	testdata/src/<fixture>/*.go
+//
+// with expectations as trailing comments
+//
+//	d.View("R") // want `store-owned` "second diagnostic"
+//
+// Each quoted string is a regexp that must match one diagnostic
+// reported on that line; diagnostics and expectations must match one
+// to one, in both directions. Fixtures live under testdata, which go
+// list patterns never descend into, so they are invisible to builds,
+// tests and the radivvet driver itself — must-flag fixtures stay in
+// the tree without turning CI red.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"radiv/internal/analysis"
+	"radiv/internal/analysis/loadpkg"
+)
+
+// TestData returns the caller's testdata directory made absolute, the
+// conventional root for fixtures.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each fixture package at testdata/src/<name>, applies the
+// analyzer, and reports any mismatch between its diagnostics and the
+// fixtures' want-comments as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	moduleDir := moduleRoot(t, testdata)
+	for _, fixture := range fixtures {
+		dir := filepath.Join(testdata, "src", fixture)
+		loader := loadpkg.New(moduleDir)
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Errorf("%s: loading fixture: %v", fixture, err)
+			continue
+		}
+		findings, err := analysis.Run([]*loadpkg.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("%s: running %s: %v", fixture, a.Name, err)
+			continue
+		}
+		wants := collectWants(t, pkg)
+		for _, f := range findings {
+			if !claim(wants, f) {
+				t.Errorf("%s: unexpected diagnostic: %v", fixture, f)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: no diagnostic matched %q", fixture, w.file, w.line, w.rx)
+			}
+		}
+	}
+}
+
+// want is one expectation: a regexp bound to a source line.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// claim matches a finding against the first unclaimed expectation on
+// its line.
+func claim(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == f.Position.Filename && w.line == f.Position.Line && w.rx.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every `// want` comment of the fixture.
+func collectWants(t *testing.T, pkg *loadpkg.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range parsePatterns(t, pos.String(), text) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parsePatterns reads the sequence of Go-quoted strings after a want
+// marker.
+func parsePatterns(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Errorf("%s: want comment is not a sequence of quoted regexps at %q", pos, s)
+			return pats
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			t.Errorf("%s: unquoting %q: %v", pos, q, err)
+			return pats
+		}
+		pats = append(pats, pat)
+		s = s[len(q):]
+	}
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod.
+func moduleRoot(t *testing.T, dir string) string {
+	t.Helper()
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatal(fmt.Sprintf("no go.mod above %s", dir))
+		}
+		d = parent
+	}
+}

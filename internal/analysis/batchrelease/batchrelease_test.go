@@ -1,0 +1,12 @@
+package batchrelease_test
+
+import (
+	"testing"
+
+	"radiv/internal/analysis/analysistest"
+	"radiv/internal/analysis/batchrelease"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), batchrelease.Analyzer, "a")
+}

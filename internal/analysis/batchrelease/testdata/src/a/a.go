@@ -1,0 +1,117 @@
+// Package a reproduces the pooled-batch bug classes: the
+// skip-empty-batch loop that overwrites a held batch, the early
+// return that leaks one, and the double release that recycles live
+// storage. The canonical drain/guard/handoff/view patterns must stay
+// silent.
+package a
+
+import "radiv/internal/rel"
+
+func sink(*rel.Batch) {}
+
+// LeakEarlyReturn is the historical bug shape: a pooled batch leaked
+// on the early-return path.
+func LeakEarlyReturn(cond bool) {
+	b := rel.NewBatch(2) // want `not released on the return path`
+	if cond {
+		return
+	}
+	b.Release()
+}
+
+// LeakSkipEmpty is the skip-empty-batch loop that pulls the next
+// batch while the previous (empty but pooled) one is still held.
+func LeakSkipEmpty(c rel.BatchCursor) (*rel.Batch, bool) {
+	b, ok := c.NextBatch()
+	for ok && b.Len() == 0 {
+		b, ok = c.NextBatch() // want `overwritten while still held`
+	}
+	return b, ok
+}
+
+// DoubleRelease recycles the same column storage twice.
+func DoubleRelease() {
+	b := rel.NewBatch(1)
+	b.Release()
+	b.Release() // want `released twice`
+}
+
+// DeferDouble releases a batch that already has a pending deferred
+// Release.
+func DeferDouble() {
+	b := rel.NewBatch(1)
+	defer b.Release()
+	b.Release() // want `already has a deferred Release`
+}
+
+// DrainOK is the canonical cursor drain: release every pooled batch
+// before pulling the next.
+func DrainOK(c rel.BatchCursor) int {
+	n := 0
+	for b, ok := c.NextBatch(); ok; b, ok = c.NextBatch() {
+		n += b.Len()
+		b.Release()
+	}
+	return n
+}
+
+// GuardOK returns early on the ok-false path, which carries a nil
+// batch and owes nothing.
+func GuardOK(c rel.BatchCursor) int {
+	b, ok := c.NextBatch()
+	if !ok {
+		return 0
+	}
+	n := b.Len()
+	b.Release()
+	return n
+}
+
+// DeferOK releases through defer.
+func DeferOK(c rel.BatchCursor) int {
+	b, ok := c.NextBatch()
+	if !ok {
+		return 0
+	}
+	defer b.Release()
+	return b.Len()
+}
+
+// ViewOK drains a BatchScan cursor: view batches alias relation
+// storage and their Release is a no-op, so nothing is owed.
+func ViewOK(r *rel.Relation) int {
+	n := 0
+	cur := r.BatchScan()
+	for b, ok := cur.NextBatch(); ok; b, ok = cur.NextBatch() {
+		n += b.Len()
+	}
+	return n
+}
+
+// HandoffOK transfers ownership downstream through a channel.
+func HandoffOK(out chan<- *rel.Batch) {
+	b := rel.NewBatch(3)
+	out <- b
+}
+
+// ReturnOK transfers ownership to the caller.
+func ReturnOK() *rel.Batch {
+	b := rel.NewBatch(3)
+	return b
+}
+
+// SinkOK transfers ownership to a callee.
+func SinkOK() {
+	b := rel.NewBatch(1)
+	sink(b)
+}
+
+// PanicOK owes nothing on the panic path: pooled arrays are
+// GC-recoverable and a panic aborts the query.
+func PanicOK(arity int) *rel.Batch {
+	b := rel.NewBatchSized(arity, 8)
+	if arity == 0 {
+		panic("a: zero arity")
+	}
+	return b
+}

@@ -1,0 +1,12 @@
+package callerowned_test
+
+import (
+	"testing"
+
+	"radiv/internal/analysis/analysistest"
+	"radiv/internal/analysis/callerowned"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), callerowned.Analyzer, "a")
+}

@@ -1,0 +1,41 @@
+// This file states the three engine contracts the radivvet suite
+// enforces, with pointers to the analyzers that enforce them. It is
+// documentation only.
+//
+// # Contract 1: evaluator results are caller-owned
+//
+// Every relation an exported evaluator entry point returns belongs to
+// the caller: mutating it must never write through into a store. The
+// storage layer hands out aliased views by documented contract
+// (rel.Store.View, rel.Materialized's aliased flag, Database.Rel);
+// the layers above must snapshot — Clone, or the conditional clone on
+// Materialized's flag — before a store-reachable relation escapes.
+// PRs 2–4 fixed this class by hand after ra.Eval returned the
+// database's own relation for a bare-Rel root. Enforced by
+// radiv/internal/analysis/callerowned.
+//
+// # Contract 2: dictionaries are quiescent inside exchange workers
+//
+// The engine.Stream* exchange family has the router intern into
+// dictionaries while worker goroutines read them; rel.Interner is
+// read-while-intern safe in exactly one direction — workers may read
+// only in the sharded (non-routed) exchanges, and must never intern,
+// Add, or Dict-write anywhere. Worker-side interning is a data race
+// the race detector only sees under lucky schedules; the analyzer
+// sees it lexically. Enforced by radiv/internal/analysis/quiescence.
+//
+// # Contract 3: pooled batches are released exactly once
+//
+// A rel.Batch from NewBatch/NewBatchSized or a cursor's NextBatch
+// owns pooled column arrays. The holder must Release exactly once on
+// every path or hand the batch off downstream; a missed Release
+// leaks pool capacity (the skip-empty-batch loop bug shape), and a
+// double Release puts live storage back in the pool for two future
+// acquirers to share. View batches (BatchScan provenance) are exempt:
+// their Release is a no-op. Enforced by
+// radiv/internal/analysis/batchrelease.
+//
+// A fourth, stylistic rule rides along: panic messages carry their
+// package prefix (ra:, sa:, xra:, …) so a query-abort names the layer
+// that gave up. Enforced by radiv/internal/analysis/panicprefix.
+package analysis

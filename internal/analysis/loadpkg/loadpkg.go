@@ -1,0 +1,301 @@
+// Package loadpkg loads and type-checks Go packages for the analysis
+// suite using only the standard library: package metadata comes from
+// `go list -deps -json` (the go toolchain is the one build-time
+// dependency the repository already has), syntax from go/parser, and
+// types from go/types checking every package from source in dependency
+// order. It is a minimal, offline stand-in for
+// golang.org/x/tools/go/packages — enough surface for a vet-style
+// driver, nothing more.
+//
+// Module packages are always checked with function bodies and full
+// type information (the analyzers need both); standard-library
+// dependencies are checked with IgnoreFuncBodies, which yields their
+// complete export-level API at a fraction of the cost. Type identity
+// is global per import path — every package in one Loader shares one
+// *types.Package per path — so analyzers can compare types resolved
+// through different importers.
+package loadpkg
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Package is one fully type-checked module package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Loader loads packages rooted at one module directory. It is not
+// safe for concurrent use.
+type Loader struct {
+	// ModuleDir is the directory `go list` runs in (the module root,
+	// or any directory inside it).
+	ModuleDir string
+	// Fset is shared by every package the loader returns.
+	Fset *token.FileSet
+
+	meta  map[string]*listedPackage
+	typed map[string]*types.Package // every checked package, by import path
+	full  map[string]*Package       // module packages, with syntax and info
+	sizes types.Sizes
+}
+
+// New returns a loader rooted at dir.
+func New(dir string) *Loader {
+	return &Loader{
+		ModuleDir: dir,
+		Fset:      token.NewFileSet(),
+		meta:      make(map[string]*listedPackage),
+		typed:     make(map[string]*types.Package),
+		full:      make(map[string]*Package),
+		sizes:     types.SizesFor("gc", runtime.GOARCH),
+	}
+}
+
+// Targets loads the packages matching the go list patterns (with
+// their whole dependency closure) and returns the pattern roots in
+// `go list` order, fully type-checked.
+func (l *Loader) Targets(patterns ...string) ([]*Package, error) {
+	roots, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, path := range roots {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("loadpkg: %s is a standard-library package, not a module target", path)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// LoadDir loads the single package rooted at dir — which may live
+// under a testdata directory, invisible to go list patterns — parsing
+// every non-test .go file and resolving its imports through the
+// loader's module. This is how analysistest loads fixtures.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if name := e.Name(); strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") && !e.IsDir() {
+			files = append(files, name)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loadpkg: no Go files in %s", dir)
+	}
+	lp := &listedPackage{ImportPath: dir, Dir: dir, GoFiles: files}
+	asts, err := l.parse(lp)
+	if err != nil {
+		return nil, err
+	}
+	lp.Name = asts[0].Name.Name
+	for _, f := range asts {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			lp.Imports = append(lp.Imports, path)
+		}
+	}
+	l.meta[lp.ImportPath] = lp
+	return l.check(lp, asts)
+}
+
+// list runs go list over the patterns, records metadata for the whole
+// dependency closure, and returns the pattern roots.
+func (l *Loader) list(patterns []string) ([]string, error) {
+	args := append([]string{
+		"list", "-e", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModuleDir
+	// The loader type-checks from source; cgo packages have no pure-Go
+	// file list, so resolve the build list without cgo.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loadpkg: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	var roots []string
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loadpkg: decoding go list output: %v", err)
+		}
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("loadpkg: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if _, ok := l.meta[p.ImportPath]; !ok {
+			cp := p
+			l.meta[p.ImportPath] = &cp
+		}
+		if !p.DepOnly {
+			roots = append(roots, p.ImportPath)
+		}
+	}
+	return roots, nil
+}
+
+// load type-checks the package at the import path (dependencies
+// first), returning its full form for module packages and nil for
+// standard-library ones (whose *types.Package lives in l.typed).
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.full[path]; ok {
+		return p, nil
+	}
+	if _, ok := l.typed[path]; ok {
+		return nil, nil // standard library, already checked
+	}
+	lp, ok := l.meta[path]
+	if !ok {
+		// An import not in any closure listed so far (a fixture's
+		// import, say): fetch its metadata on demand.
+		if _, err := l.list([]string{path}); err != nil {
+			return nil, err
+		}
+		if lp, ok = l.meta[path]; !ok {
+			return nil, fmt.Errorf("loadpkg: go list did not describe %s", path)
+		}
+	}
+	if path == "unsafe" {
+		l.typed[path] = types.Unsafe
+		return nil, nil
+	}
+	asts, err := l.parse(lp)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(lp, asts)
+}
+
+// parse parses the package's Go files with comments (the runner's
+// suppression directives and analysistest's want-comments need them).
+func (l *Loader) parse(lp *listedPackage) ([]*ast.File, error) {
+	var asts []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loadpkg: %v", err)
+		}
+		asts = append(asts, f)
+	}
+	return asts, nil
+}
+
+// check type-checks one parsed package, loading its imports first.
+func (l *Loader) check(lp *listedPackage, asts []*ast.File) (*Package, error) {
+	var firstErr error
+	conf := types.Config{
+		Importer:         l.importerFor(lp),
+		Sizes:            l.sizes,
+		IgnoreFuncBodies: lp.Standard,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	var info *types.Info
+	if !lp.Standard {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		}
+	}
+	tpkg, err := conf.Check(lp.ImportPath, l.Fset, asts, info)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("loadpkg: type-checking %s: %v", lp.ImportPath, firstErr)
+	}
+	l.typed[lp.ImportPath] = tpkg
+	if lp.Standard {
+		return nil, nil
+	}
+	p := &Package{
+		ImportPath: lp.ImportPath,
+		Name:       lp.Name,
+		Dir:        lp.Dir,
+		Fset:       l.Fset,
+		Files:      asts,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	l.full[lp.ImportPath] = p
+	return p, nil
+}
+
+// importerFor resolves the import paths appearing in lp's sources,
+// mapping through lp.ImportMap (vendored standard-library deps) and
+// recursing into the loader.
+func (l *Loader) importerFor(lp *listedPackage) types.Importer {
+	return importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := lp.ImportMap[path]; ok {
+			path = mapped
+		}
+		if _, err := l.load(path); err != nil {
+			return nil, err
+		}
+		tp, ok := l.typed[path]
+		if !ok {
+			return nil, fmt.Errorf("loadpkg: import %q did not resolve", path)
+		}
+		return tp, nil
+	})
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,71 @@
+// Package panicprefix enforces the repository's panic style: every
+// panic raised by a library package under radiv/internal must carry
+// the package's name as a "pkg: " message prefix, the convention the
+// Validate paths of the three algebras established (`ra: invalid
+// expression: ...`) and every other package follows. A prefixed panic
+// tells the operator which layer's contract was violated without a
+// stack read; an unprefixed one — or worse, one wearing another
+// package's prefix — sends the reader into the wrong file.
+//
+// The check resolves the leftmost compile-time-constant fragment of
+// the panic argument: a string literal, the head of a + concatenation
+// chain, or the format argument of fmt.Sprintf. Arguments with no
+// constant head (re-panicking a recovered value, say) are skipped. A
+// head beginning with "%s: " is accepted too: that is the
+// parameterized prefix of shared helpers like rel.CheckView, which
+// panic on behalf of a caller-supplied package.
+package panicprefix
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"radiv/internal/analysis"
+)
+
+// Analyzer is the panicprefix check.
+var Analyzer = &analysis.Analyzer{
+	Name: "panicprefix",
+	Doc:  "enforce the \"pkg: \" message prefix on every panic in radiv/internal packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), "radiv/internal/") && !isFixture(pass) {
+		return nil
+	}
+	want := pass.Pkg.Name() + ": "
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			head, ok := analysis.ConstHead(pass, call.Args[0])
+			if !ok {
+				return true // dynamic value: nothing to check lexically
+			}
+			if strings.HasPrefix(head, want) || strings.HasPrefix(head, "%s: ") {
+				return true
+			}
+			pass.Reportf(call.Args[0].Pos(), "panic message %.40q must carry the %q package prefix", head, want)
+			return true
+		})
+	}
+	return nil
+}
+
+// isFixture keeps the analyzer exercisable from analysistest, whose
+// fixture packages are loaded by directory rather than by a
+// radiv/internal import path.
+func isFixture(pass *analysis.Pass) bool {
+	return strings.Contains(pass.Pkg.Path(), "testdata/src/")
+}

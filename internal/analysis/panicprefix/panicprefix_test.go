@@ -1,0 +1,12 @@
+package panicprefix_test
+
+import (
+	"testing"
+
+	"radiv/internal/analysis/analysistest"
+	"radiv/internal/analysis/panicprefix"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), panicprefix.Analyzer, "ra")
+}

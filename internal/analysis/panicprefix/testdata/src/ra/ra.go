@@ -1,0 +1,47 @@
+// Package ra is a panicprefix fixture shaped like the algebra
+// packages' Validate paths: the analyzer keys the required prefix off
+// the package name.
+package ra
+
+import "fmt"
+
+// Validate mirrors the eval-entry validation panics of the real ra
+// package.
+func Validate(ok bool, arity int, err error) {
+	if !ok {
+		panic("ra: invalid expression: " + err.Error()) // prefixed concatenation: fine
+	}
+	if arity < 0 {
+		panic(fmt.Sprintf("ra: negative arity %d", arity)) // prefixed Sprintf: fine
+	}
+	if arity > 64 {
+		panic(fmt.Sprintf("arity %d out of range", arity)) // want `must carry the "ra: " package prefix`
+	}
+}
+
+// CheckOn panics on behalf of a caller-supplied package, the
+// rel.CheckView shape: a "%s: " head is the parameterized prefix.
+func CheckOn(pkg string, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("%s: negative count %d", pkg, n))
+	}
+}
+
+// Bad wears another package's prefix, which is worse than none.
+func Bad() {
+	panic("sa: wrong layer") // want `must carry the "ra: " package prefix`
+}
+
+// Repanic re-raises a dynamic value; no constant head, so no finding.
+func Repanic(v any) {
+	panic(v)
+}
+
+// Relay wears the storage layer's prefix deliberately, and the
+// suppression directive above the panic carries its why — so the
+// analyzer stays silent here. (Without the directive this line would
+// be a finding, like Bad above.)
+func Relay() {
+	//radivvet:ignore panicprefix relaying the storage layer's message verbatim
+	panic("rel: relayed storage failure")
+}

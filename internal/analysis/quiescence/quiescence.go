@@ -1,0 +1,156 @@
+// Package quiescence enforces the dictionary-quiescence contract of
+// the engine's exchange family (engine/batchstream.go): while an
+// exchange is running, worker callbacks run concurrently with the
+// router (StreamPartitioned, StreamPartitionedBatches) or with each
+// other (StreamSharded, StreamShardedBatches), and a rel.Interner is
+// not safe for read-while-intern — so no worker may intern into any
+// dictionary shared with another goroutine until snapshot interning
+// lands.
+//
+// The analyzer inspects every function-literal worker callback passed
+// to an engine.Executor Stream* method and flags, lexically inside the
+// callback body, calls that intern — Interner.Intern, IDMap.Intern,
+// Relation.Add/AddBatch (which intern into the relation's
+// dictionary), Store.Add, setjoin's Dict.Key — when their receiver is
+// captured from the enclosing scope. A receiver declared inside the
+// callback (a worker-local relation or interner) is private to the
+// worker and exempt; a captured one is, by construction, visible to
+// the router and the sibling workers. In the routed exchanges the
+// router is still interning while workers run, so captured-dictionary
+// reads (Interner.ID, Interner.Value) are flagged there too;
+// the pre-partitioned Stream*Sharded* paths have no router and
+// quiescent dictionaries, where reads are the documented safe
+// pattern.
+//
+// The route callback of a routed exchange is exempt by design: it
+// runs on the router goroutine, which is the one place interning is
+// documented safe (see StreamPartitionedBatches).
+package quiescence
+
+import (
+	"go/ast"
+	"go/types"
+
+	"radiv/internal/analysis"
+)
+
+// Analyzer is the quiescence check.
+var Analyzer = &analysis.Analyzer{
+	Name: "quiescence",
+	Doc:  "forbid interning (and, under a live router, dictionary reads) on captured dictionaries inside engine.Stream* worker callbacks",
+	Run:  run,
+}
+
+const (
+	relPath     = "radiv/internal/rel"
+	enginePath  = "radiv/internal/engine"
+	setjoinPath = "radiv/internal/setjoin"
+)
+
+// exchangeMethods maps each exchange entry point to whether its
+// router interns concurrently with the workers.
+var exchangeMethods = map[string]bool{
+	"StreamPartitioned":        true,
+	"StreamPartitionedBatches": true,
+	"StreamSharded":            false,
+	"StreamShardedBatches":     false,
+}
+
+func run(pass *analysis.Pass) error {
+	storeIface := analysis.NamedInterface(pass, relPath, "Store")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, recv := analysis.MethodCall(pass, call)
+			if sel == nil || recv == nil {
+				return true
+			}
+			routed, isExchange := exchangeMethods[sel.Sel.Name]
+			if !isExchange || !analysis.IsNamed(recv, enginePath, "Executor") {
+				return true
+			}
+			work, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+			if !ok {
+				return true // a named worker function: outside the lexical contract
+			}
+			checkWorker(pass, work, routed, storeIface)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWorker flags interning (and, for routed exchanges, dictionary
+// reads) on captured receivers anywhere lexically inside the worker
+// callback.
+func checkWorker(pass *analysis.Pass, work *ast.FuncLit, routed bool, storeIface *types.Interface) {
+	ast.Inspect(work.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, recv := analysis.MethodCall(pass, call)
+		if sel == nil || recv == nil {
+			return true
+		}
+		kind := classify(sel.Sel.Name, recv, routed, storeIface)
+		if kind == "" {
+			return true
+		}
+		if root := analysis.RootIdent(sel.X); root != nil {
+			obj := pass.TypesInfo.Uses[root]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[root]
+			}
+			if analysis.DeclaredWithin(obj, work) {
+				return true // worker-local dictionary: private to this goroutine
+			}
+		}
+		pass.Reportf(call.Pos(), "%s inside an exchange worker: %s", kind, contractNote(routed))
+		return true
+	})
+}
+
+// classify returns a description of the hazardous call, or "" for
+// calls outside the contract.
+func classify(name string, recv types.Type, routed bool, storeIface *types.Interface) string {
+	switch name {
+	case "Intern":
+		if analysis.IsNamed(recv, relPath, "Interner") {
+			return "Interner.Intern on a captured dictionary"
+		}
+		if analysis.IsNamed(recv, relPath, "IDMap") {
+			return "IDMap.Intern interning into a captured target dictionary"
+		}
+	case "Add":
+		if analysis.IsNamed(recv, relPath, "Relation") {
+			return "Relation.Add interning into a captured relation's dictionary"
+		}
+		if analysis.Implements(recv, storeIface) {
+			return "Store.Add interning into a captured store"
+		}
+	case "AddBatch":
+		if analysis.IsNamed(recv, relPath, "Relation") {
+			return "Relation.AddBatch interning into a captured relation's dictionary"
+		}
+	case "Key":
+		if analysis.IsNamed(recv, setjoinPath, "Dict") {
+			return "Dict.Key interning into a captured canonical-key dictionary"
+		}
+	case "ID", "Value":
+		if routed && analysis.IsNamed(recv, relPath, "Interner") {
+			return "Interner." + name + " reading a captured dictionary while the router may still intern"
+		}
+	}
+	return ""
+}
+
+func contractNote(routed bool) string {
+	if routed {
+		return "the router interns concurrently with the workers (dictionary-quiescence contract, see engine.StreamPartitionedBatches)"
+	}
+	return "sibling workers share the dictionary (dictionary-quiescence contract, see engine.StreamPartitionedBatches)"
+}

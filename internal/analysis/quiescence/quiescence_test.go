@@ -1,0 +1,12 @@
+package quiescence_test
+
+import (
+	"testing"
+
+	"radiv/internal/analysis/analysistest"
+	"radiv/internal/analysis/quiescence"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), quiescence.Analyzer, "a")
+}

@@ -1,0 +1,130 @@
+package analysis
+
+// The runner: applies a set of analyzers to loaded packages, collects
+// findings, and honors suppression directives.
+//
+// A finding is suppressed by a comment of the form
+//
+//	//radivvet:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the flagged line or the line directly above it. The analyzer
+// list may be "all". The reason is free text; directives without one
+// are themselves reported, so every suppression in the tree carries
+// its justification.
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+
+	"radiv/internal/analysis/loadpkg"
+)
+
+// Finding is one resolved diagnostic: analyzer, position, message.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return f.Position.String() + ": " + f.Message + " [" + f.Analyzer + "]"
+}
+
+// ignoreDirective is one parsed //radivvet:ignore comment.
+type ignoreDirective struct {
+	analyzers []string // names, or ["all"]
+	hasReason bool
+}
+
+func (d ignoreDirective) covers(analyzer string) bool {
+	for _, a := range d.analyzers {
+		if a == "all" || a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+const directivePrefix = "//radivvet:ignore"
+
+// Run applies every analyzer to every package and returns the
+// surviving findings sorted by position. Malformed or reason-less
+// directives are reported as findings of the pseudo-analyzer
+// "radivvet".
+func Run(pkgs []*loadpkg.Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		directives := make(map[string]map[int]ignoreDirective) // file -> line -> directive
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(strings.TrimPrefix(c.Text, directivePrefix))
+					if len(fields) == 0 {
+						findings = append(findings, Finding{
+							Analyzer: "radivvet",
+							Position: pos,
+							Message:  "malformed directive: " + directivePrefix + " needs an analyzer name and a reason",
+						})
+						continue
+					}
+					d := ignoreDirective{analyzers: strings.Split(fields[0], ","), hasReason: len(fields) > 1}
+					if !d.hasReason {
+						findings = append(findings, Finding{
+							Analyzer: "radivvet",
+							Position: pos,
+							Message:  "suppression without a reason: state why the contract holds here",
+						})
+					}
+					if directives[pos.Filename] == nil {
+						directives[pos.Filename] = make(map[int]ignoreDirective)
+					}
+					directives[pos.Filename][pos.Line] = d
+				}
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if byLine := directives[pos.Filename]; byLine != nil {
+					if d, ok := byLine[pos.Line]; ok && d.covers(name) {
+						return
+					}
+					if d, ok := byLine[pos.Line-1]; ok && d.covers(name) {
+						return
+					}
+				}
+				findings = append(findings, Finding{Analyzer: name, Position: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

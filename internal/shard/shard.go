@@ -186,7 +186,7 @@ func (s *Database) View(name string) rel.StoredRel {
 	}
 	a, ok := s.schema.Arity(name)
 	if !ok {
-		panic(fmt.Sprintf("rel: relation %q not in schema", name))
+		panic(fmt.Sprintf("shard: relation %q not in schema", name))
 	}
 	rels := make([]*rel.Relation, len(s.shards))
 	for i, d := range s.shards {

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the tier-1 benchmark set with -benchmem and write the
-# results as JSON (default: BENCH_5.json), so every PR from here on has
+# results as JSON (default: BENCH_6.json), so every PR from here on has
 # a machine-readable perf baseline. CI uploads the file as an artifact.
 #
 # Usage:
@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 pattern="${BENCH_PATTERN:-.}"
 benchtime="${BENCHTIME:-1x}"
 raw="$(mktemp)"

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# One-shot static analysis entry point. CI runs this script verbatim;
+# run it locally before sending a change.
+#
+#   1. go vet            — the stock toolchain checks
+#   2. radivvet          — the engine's contract analyzers
+#                          (caller-owned results, exchange-worker
+#                          quiescence, pooled-batch release,
+#                          panic prefixes); see internal/analysis
+#   3. gofmt             — formatting must be clean, testdata included
+#   4. golangci-lint     — curated correctness linters (.golangci.yml)
+#
+# golangci-lint is optional locally (the sandbox image does not ship
+# it) but mandatory in CI: export LINT_REQUIRE_GOLANGCI=1 to make a
+# missing binary fatal.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== radivvet =="
+go run ./cmd/radivvet ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== golangci-lint =="
+if command -v golangci-lint >/dev/null 2>&1; then
+	golangci-lint run
+elif [ "${LINT_REQUIRE_GOLANGCI:-0}" = "1" ]; then
+	echo "golangci-lint is required but not installed" >&2
+	exit 1
+else
+	echo "golangci-lint not installed; skipped (CI enforces it)" >&2
+fi
+
+echo "lint: all clean"
