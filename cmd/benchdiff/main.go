@@ -1,0 +1,152 @@
+// Command benchdiff compares two bench.sh JSON files and fails loudly
+// when the new run regresses against the old one. It is the CI gate on
+// the perf trajectory: every PR's BENCH_N.json is diffed against the
+// committed BENCH_{N-1}.json baseline.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff OLD.json NEW.json
+//
+// Rules, per benchmark name present in both files:
+//
+//   - allocs/op is compared unconditionally: allocation counts are
+//     deterministic for a given code path, so a >threshold increase is
+//     a real regression on any machine at any -benchtime.
+//   - ns/op is compared only when the two env blocks (goos, goarch,
+//     cpu) are identical AND both runs did at least -min-iters
+//     iterations: cross-machine wall-clock is meaningless, and a
+//     single-iteration smoke timing is dominated by warmup noise.
+//     Skipped timing comparisons are printed, never silent.
+//
+// Benchmarks present on only one side are reported but do not fail the
+// diff (suites legitimately grow and get renamed); regressions do, with
+// exit status 1.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchFile struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks []benchmark       `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func sameEnv(a, b map[string]string) bool {
+	for _, k := range []string{"goos", "goarch", "cpu"} {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 20, "regression threshold in percent")
+	minIters := flag.Int64("min-iters", 2, "minimum iterations on both sides to trust ns/op")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldFile, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newFile, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	old := make(map[string]benchmark, len(oldFile.Benchmarks))
+	for _, b := range oldFile.Benchmarks {
+		old[b.Name] = b
+	}
+	envMatch := sameEnv(oldFile.Env, newFile.Env)
+	if !envMatch {
+		fmt.Printf("env differs (%v vs %v): ns/op not compared, allocs/op still enforced\n",
+			oldFile.Env, newFile.Env)
+	}
+
+	var regressions, compared, skippedTime int
+	seen := make(map[string]bool, len(newFile.Benchmarks))
+	for _, nb := range newFile.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := old[nb.Name]
+		if !ok {
+			fmt.Printf("new benchmark (no baseline): %s\n", nb.Name)
+			continue
+		}
+		check := func(metric string, worse string) {
+			ov, ook := ob.Metrics[metric]
+			nv, nok := nb.Metrics[metric]
+			if !ook || !nok {
+				return
+			}
+			compared++
+			if ov <= 0 {
+				if nv > 0 {
+					fmt.Printf("REGRESSION %-55s %s: %.0f -> %.0f (was zero)\n", nb.Name, metric, ov, nv)
+					regressions++
+				}
+				return
+			}
+			pct := (nv - ov) / ov * 100
+			if pct > *threshold {
+				fmt.Printf("REGRESSION %-55s %s: %.0f -> %.0f (%+.1f%%, %s)\n",
+					nb.Name, metric, ov, nv, pct, worse)
+				regressions++
+			}
+		}
+		check("allocs/op", "more allocations per op")
+		if envMatch {
+			if ob.Iterations >= *minIters && nb.Iterations >= *minIters {
+				check("ns/op", "slower")
+			} else {
+				skippedTime++
+			}
+		}
+	}
+	for name := range old {
+		if !seen[name] {
+			fmt.Printf("benchmark disappeared: %s\n", name)
+		}
+	}
+	if skippedTime > 0 {
+		fmt.Printf("ns/op skipped for %d benchmarks: fewer than %d iterations on one side "+
+			"(smoke-speed runs; rerun with BENCHTIME=2s for enforceable timings)\n",
+			skippedTime, *minIters)
+	}
+	fmt.Printf("benchdiff: %d comparisons, %d regressions (threshold %.0f%%)\n",
+		compared, regressions, *threshold)
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}

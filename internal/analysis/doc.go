@@ -14,15 +14,23 @@
 // database's own relation for a bare-Rel root. Enforced by
 // radiv/internal/analysis/callerowned.
 //
-// # Contract 2: dictionaries are quiescent inside exchange workers
+// # Contract 2: published snapshots are immutable; interning goes
+// through the epoch writer
 //
-// The engine.Stream* exchange family has the router intern into
-// dictionaries while worker goroutines read them; rel.Interner is
-// read-while-intern safe in exactly one direction — workers may read
-// only in the sharded (non-routed) exchanges, and must never intern,
-// Add, or Dict-write anywhere. Worker-side interning is a data race
-// the race detector only sees under lucky schedules; the analyzer
-// sees it lexically. Enforced by radiv/internal/analysis/quiescence.
+// A published snapshot (rel.Snapshot, shard.Snapshot) is sealed:
+// every relation and dictionary reachable from it may be read from
+// any goroutine with no coordination, and must never be written —
+// no Relation.Add, Interner.Intern, or IDMap.Intern into snapshot
+// state, anywhere. Mutation goes through the epoch writer
+// (rel.Epoch, shard.Database) and becomes visible only at Publish.
+// The same law covers the engine.Stream* exchange family: worker
+// callbacks must not intern on captured state — new values are
+// interned through the writer before the exchange — while reads of
+// sealed snapshot dictionaries are legal even mid-exchange, in the
+// routed exchanges too (the ban this contract used to impose there).
+// A violation is a data race the race detector only sees under lucky
+// schedules; the analyzer sees it lexically. Enforced by
+// radiv/internal/analysis/quiescence.
 //
 // # Contract 3: pooled batches are released exactly once
 //

@@ -1,9 +1,9 @@
-// Package a reproduces the dictionary-quiescence hazard of PR 5's
-// batched exchange: a worker touching a dictionary shared with the
-// router (or with sibling workers) races rel.Interner's maps. The
-// legal patterns — interning on the route callback, worker-local
-// dictionaries, quiescent reads on the pre-partitioned path — must
-// stay silent.
+// Package a reproduces the worker-interning hazard of PR 5's batched
+// exchange: a worker mutating a dictionary shared with the router (or
+// with sibling workers) races rel.Interner's maps. The legal patterns
+// — interning on the route callback, worker-local dictionaries, and
+// (since the snapshot epochs landed) reads of captured dictionaries on
+// every path — must stay silent.
 package a
 
 import (
@@ -13,7 +13,11 @@ import (
 
 // InternInWorker is the historical bug shape: the exchange moves
 // batches while the packing dictionary is still being written, and a
-// worker interning into (or even reading) it races the router.
+// worker interning into it races the router. Reading the captured
+// dictionary is no longer flagged — under the snapshot contract the
+// dictionaries a worker is handed are sealed, and the producer of a
+// live packing dictionary is responsible for re-encoding before the
+// exchange (division.DivideStream's pattern).
 func InternInWorker(ex engine.Executor, in engine.Cursor, dict *rel.Interner, sink *rel.Relation, s rel.Store) {
 	ex.StreamPartitioned(in, func(t rel.Tuple) int {
 		return int(dict.Intern(t[0])) % 2 // route runs on the router goroutine: interning is safe here
@@ -22,7 +26,7 @@ func InternInWorker(ex engine.Executor, in engine.Cursor, dict *rel.Interner, si
 			dict.Intern(t[0])    // want `Interner.Intern on a captured dictionary`
 			sink.Add(t)          // want `Relation.Add interning into a captured relation`
 			s.Add("out", t)      // want `Store.Add interning into a captured store`
-			_, _ = dict.ID(t[0]) // want `reading a captured dictionary while the router may still intern`
+			_, _ = dict.ID(t[0]) // reads of a captured dictionary are legal: sealed under the snapshot contract
 		}
 	})
 }

@@ -438,7 +438,7 @@ func (Aggregate) Divide(r, s *rel.Relation, sem Semantics) (*rel.Relation, Stats
 // or equality variant) over a database built from r and s, through the
 // given traced evaluator. Shared by ClassicRA and StreamedRA.
 func raDivide(r, s *rel.Relation, sem Semantics,
-	eval func(ra.Expr, rel.Store) (*rel.Relation, *ra.Trace)) (*rel.Relation, *ra.Trace) {
+	eval func(ra.Expr, rel.ReadStore) (*rel.Relation, *ra.Trace)) (*rel.Relation, *ra.Trace) {
 	checkInputs(r, s)
 	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 2, "S": 1}))
 	for _, t := range r.Tuples() {

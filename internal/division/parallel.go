@@ -289,9 +289,10 @@ func (p ParallelHash) DivideStream(rc engine.Cursor, s *rel.Relation, sem Semant
 		// first-occurrence order, and the element's divisor slot (+1, 0
 		// for a value outside the divisor). Workers therefore run on raw
 		// integers and never touch a dictionary, which matters because
-		// the packing dictionary is still being written while earlier
-		// batches are in flight (an Interner is not safe for concurrent
-		// read-while-intern).
+		// the packing dictionary is not a sealed snapshot dictionary:
+		// it is still being interned into while earlier batches are in
+		// flight, exactly the live-dictionary case the snapshot
+		// contract on StreamPartitionedBatches calls out.
 		in := &gidSlotCursor{
 			in:    rel.ToBatches(&arityCheckCursor{in: rc}, 2, rel.BatchCap),
 			gids:  rel.NewIDMap(gids),
@@ -304,8 +305,8 @@ func (p ParallelHash) DivideStream(rc engine.Cursor, s *rel.Relation, sem Semant
 		}, func(q int, shard engine.BatchCursor) {
 			qualified[q] = dt.divideGidSlots(shard, sem)
 		})
-		// All workers done (the exchange returned): the dictionary is
-		// complete and quiescent. Emit in group-ID order == group
+		// All workers done (the exchange returned): the packing
+		// dictionary is complete and sealed. Emit in group-ID order == group
 		// first-occurrence order == sequential Hash emission order.
 		for gid := 0; gid < gids.Len(); gid++ {
 			if qualified[engine.PartOf(uint32(gid), parts)][uint32(gid)] {

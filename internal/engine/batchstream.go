@@ -59,14 +59,21 @@ const batchChanCap = 4
 // BatchCursor) flushes the affected staging batches early, so workers
 // always receive batches with internally consistent dictionaries.
 //
-// Dictionary quiescence: workers read routed batches concurrently with
+// Snapshot contract: workers read routed batches concurrently with
 // the router still pulling the input, so any dictionary those batches
-// reference must not be mutated for the duration of the exchange — an
-// Interner is not safe for read-while-intern. Stored relations satisfy
-// this (their dictionaries are quiescent during evaluation); a stream
-// packed on the fly by rel.ToBatches does NOT, because the adapter
-// interns into its dictionary as it packs. Such producers must either
-// re-encode rows into dictionary-free columns before the exchange (as
+// reference must be frozen for the duration of the exchange — an
+// Interner is not safe for read-while-intern. Published snapshots
+// satisfy this by construction: a rel.Snapshot's relations and
+// dictionaries are sealed at Publish and never mutated again, so
+// workers may read them freely — ID lookups, value decoding, probes —
+// with no special casing (the old routed-exchange dictionary-read ban
+// is gone). What remains forbidden, and what the quiescence analyzer
+// still flags, is mutation: no worker may intern into any dictionary
+// shared with another goroutine — interning goes through the epoch
+// writer, before the exchange starts. A stream packed on the fly by
+// rel.ToBatches interns into its per-stream dictionary as it packs;
+// producers on that path must either re-encode rows into
+// dictionary-free columns before the exchange (as
 // division.DivideStream does) or have workers defer decoding until
 // the exchange has returned.
 func (e Executor) StreamPartitionedBatches(in BatchCursor, route func(b *rel.Batch, row int) int, work func(q int, shard BatchCursor)) int {

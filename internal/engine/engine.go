@@ -41,13 +41,13 @@ type Interner = rel.Interner
 // NewInterner returns an empty dictionary.
 func NewInterner() *Interner { return rel.NewInterner() }
 
-// ForStore builds the per-database dictionary for any rel.Store
+// ForStore builds the per-database dictionary for any rel.ReadStore
 // backend: every value of the active domain of s is interned,
 // relations in schema name order, tuples in insertion (scan) order,
 // components left to right. The assignment is therefore deterministic
 // for a deterministically built store, and identical across backends
 // holding the same data — sharding does not change dictionary IDs.
-func ForStore(s rel.Store) *Interner {
+func ForStore(s rel.ReadStore) *Interner {
 	in := NewInterner()
 	for _, name := range s.Schema().Names() {
 		c := s.View(name).Scan()

@@ -51,7 +51,7 @@ type sizeEstimate struct{ rows, distinct float64 }
 // selection). A relation name missing from the schema estimates as
 // empty — the builder will panic with the proper message when it
 // resolves the node.
-func estimateSize(d rel.Store, e Expr) sizeEstimate {
+func estimateSize(d rel.ReadStore, e Expr) sizeEstimate {
 	switch n := e.(type) {
 	case *Rel:
 		if _, ok := d.Schema().Arity(n.Name); !ok {
@@ -115,7 +115,7 @@ func projectDistinct(child sizeEstimate, cols []int, arity int) float64 {
 // hash bucket — build rows over estimated distinct join keys — for an
 // equi-join. Keys on m of the build side's a columns estimate as
 // distinct^(m/a), the same independence guess projectDistinct uses.
-func joinBucket(d rel.Store, n *Join) float64 {
+func joinBucket(d rel.ReadStore, n *Join) float64 {
 	r := estimateSize(d, n.E)
 	m := len(n.Cond.EqPairs())
 	if m == 0 {
@@ -140,7 +140,7 @@ func joinBucket(d rel.Store, n *Join) float64 {
 // is the estimated per-probe candidate scan of the consuming join (0
 // when the projection does not feed a probe input). The explicit
 // settings override; DedupAuto applies the measured rule.
-func dedupProjection(d rel.Store, opts StreamOptions, n *Project, bucket float64) bool {
+func dedupProjection(d rel.ReadStore, opts StreamOptions, n *Project, bucket float64) bool {
 	if opts.DedupProjections || opts.Dedup == DedupOn {
 		return true
 	}

@@ -62,9 +62,9 @@ func (tr *Trace) String() string {
 }
 
 // Eval evaluates the expression on a store — the in-memory
-// rel.Database or any other rel.Store backend, such as the
+// rel.Database or any other rel.ReadStore backend, such as the
 // hash-partitioned shard.Database — and returns the result relation.
-func Eval(e Expr, d rel.Store) *rel.Relation {
+func Eval(e Expr, d rel.ReadStore) *rel.Relation {
 	res, _ := EvalTraced(e, d)
 	return res
 }
@@ -81,7 +81,7 @@ func Eval(e Expr, d rel.Store) *rel.Relation {
 // writes through to the store. Every operator node already returns a
 // fresh relation; interior relation-name results are aliased read-only
 // views that never escape.
-func EvalTraced(e Expr, d rel.Store) (*rel.Relation, *Trace) {
+func EvalTraced(e Expr, d rel.ReadStore) (*rel.Relation, *Trace) {
 	if err := Validate(e); err != nil {
 		panic("ra: invalid expression: " + err.Error())
 	}
@@ -107,7 +107,7 @@ type evaluator struct {
 	rels *rel.BaseResolver
 }
 
-func newEvaluator(d rel.Store) *evaluator {
+func newEvaluator(d rel.ReadStore) *evaluator {
 	return &evaluator{rels: rel.NewBaseResolver(d, "ra")}
 }
 

@@ -22,10 +22,10 @@ func TestEvalResultOwnership(t *testing.T) {
 	intruder := rel.Ints(9, 9)
 	evaluators := []struct {
 		name string
-		run  func(ra.Expr, rel.Store) *rel.Relation
+		run  func(ra.Expr, rel.ReadStore) *rel.Relation
 	}{
 		{"Eval", ra.Eval},
-		{"EvalTraced", func(e ra.Expr, d rel.Store) *rel.Relation {
+		{"EvalTraced", func(e ra.Expr, d rel.ReadStore) *rel.Relation {
 			res, _ := ra.EvalTraced(e, d)
 			return res
 		}},

@@ -76,10 +76,10 @@ type StreamOptions struct {
 // EvalStreamed evaluates the expression with the streaming executor
 // and returns the result relation. The result is always a fresh
 // relation owned by the caller. Like every evaluator entry point, it
-// accepts any rel.Store backend; base relations are scanned in
+// accepts any rel.ReadStore backend; base relations are scanned in
 // insertion order, so the result sequence is identical across
 // backends holding the same data.
-func EvalStreamed(e Expr, d rel.Store) *rel.Relation {
+func EvalStreamed(e Expr, d rel.ReadStore) *rel.Relation {
 	res, _ := EvalStreamedTraced(e, d)
 	return res
 }
@@ -92,13 +92,13 @@ func EvalStreamed(e Expr, d rel.Store) *rel.Relation {
 // cartesian join) it is zero, because no tuples flow through the
 // operator graph for them. MaxResident is filled in (see Trace). The
 // expression is validated first, as in EvalTraced.
-func EvalStreamedTraced(e Expr, d rel.Store) (*rel.Relation, *Trace) {
+func EvalStreamedTraced(e Expr, d rel.ReadStore) (*rel.Relation, *Trace) {
 	return EvalStreamedTracedOpts(e, d, StreamOptions{})
 }
 
 // EvalStreamedTracedOpts is EvalStreamedTraced with explicit executor
 // options.
-func EvalStreamedTracedOpts(e Expr, d rel.Store, opts StreamOptions) (*rel.Relation, *Trace) {
+func EvalStreamedTracedOpts(e Expr, d rel.ReadStore, opts StreamOptions) (*rel.Relation, *Trace) {
 	if opts.Vectorize {
 		return evalVectorizedTraced(e, d, opts)
 	}
@@ -175,7 +175,7 @@ type Stream struct {
 
 // OpenStream validates e and compiles it into a streaming plan over d,
 // charging operator state to m.
-func OpenStream(e Expr, d rel.Store, m *Meter, opts StreamOptions) *Stream {
+func OpenStream(e Expr, d rel.ReadStore, m *Meter, opts StreamOptions) *Stream {
 	if err := Validate(e); err != nil {
 		panic("ra: invalid expression: " + err.Error())
 	}
@@ -233,7 +233,7 @@ func (c *countCursor) Next() (rel.Tuple, bool) {
 
 // streamBuilder translates an expression tree into a cursor plan.
 type streamBuilder struct {
-	d     rel.Store
+	d     rel.ReadStore
 	meter *Meter
 	opts  StreamOptions
 	// probeBucket carries consumer context one level down the

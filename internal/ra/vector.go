@@ -43,7 +43,7 @@ type BatchCursor = rel.BatchCursor
 // and returns the result relation, always a fresh relation owned by
 // the caller. Results are byte-identical — same tuples, same insertion
 // order — to EvalStreamed on any backend holding the same data.
-func EvalVectorized(e Expr, d rel.Store) *rel.Relation {
+func EvalVectorized(e Expr, d rel.ReadStore) *rel.Relation {
 	res, _ := EvalVectorizedTraced(e, d)
 	return res
 }
@@ -51,13 +51,13 @@ func EvalVectorized(e Expr, d rel.Store) *rel.Relation {
 // EvalVectorizedTraced is EvalVectorized with the trace: the same flow
 // counts, step order and MaxResident the tuple-at-a-time streaming
 // executor reports.
-func EvalVectorizedTraced(e Expr, d rel.Store) (*rel.Relation, *Trace) {
+func EvalVectorizedTraced(e Expr, d rel.ReadStore) (*rel.Relation, *Trace) {
 	return evalVectorizedTraced(e, d, StreamOptions{Vectorize: true})
 }
 
 // evalVectorizedTraced is the vectorized entry point behind
 // EvalStreamedTracedOpts when opts.Vectorize is set.
-func evalVectorizedTraced(e Expr, d rel.Store, opts StreamOptions) (*rel.Relation, *Trace) {
+func evalVectorizedTraced(e Expr, d rel.ReadStore, opts StreamOptions) (*rel.Relation, *Trace) {
 	if err := Validate(e); err != nil {
 		panic("ra: invalid expression: " + err.Error())
 	}
@@ -103,7 +103,7 @@ func drainBatches(in BatchCursor, sink *rel.Relation) {
 // sinkHint sizes a result sink from the cost model's distinct-output
 // estimate, clamped so a wild quadratic guess cannot balloon an empty
 // result's allocation.
-func sinkHint(d rel.Store, e Expr) int {
+func sinkHint(d rel.ReadStore, e Expr) int {
 	est := estimateSize(d, e).distinct
 	if math.IsNaN(est) || est <= 0 {
 		return 0
@@ -119,7 +119,7 @@ func sinkHint(d rel.Store, e Expr) int {
 // context the cost-based dedup decision consumes), so both executors
 // make identical filter choices and produce identical trace shapes.
 type vecBuilder struct {
-	d           rel.Store
+	d           rel.ReadStore
 	meter       *Meter
 	opts        StreamOptions
 	probeBucket float64

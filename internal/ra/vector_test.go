@@ -20,7 +20,7 @@ var vecBatchSizes = []int{1, 2, 1024}
 // byte-identical emission (same tuples, same insertion order),
 // identical per-step flow counts, identical MaxResident, and that no
 // batch leaks from the pool.
-func checkVectorized(t *testing.T, name string, e ra.Expr, d rel.Store) {
+func checkVectorized(t *testing.T, name string, e ra.Expr, d rel.ReadStore) {
 	t.Helper()
 	want, wt := ra.EvalStreamedTraced(e, d)
 	wantT := want.Tuples()

@@ -19,10 +19,10 @@ import (
 // Blank lines are ignored. A tuple line for an undeclared relation
 // implicitly declares it with the tuple's arity.
 
-// WriteText writes a store in the text format. It accepts any Store
+// WriteText writes a store in the text format. It accepts any ReadStore
 // backend; relations are emitted in name order and tuples in sorted
 // order, so equal stores — sharded or not — serialize identically.
-func WriteText(w io.Writer, d Store) error {
+func WriteText(w io.Writer, d ReadStore) error {
 	bw := bufio.NewWriter(w)
 	for _, name := range d.Schema().Names() {
 		if _, err := fmt.Fprintf(bw, "@%s %d\n", name, d.Schema()[name]); err != nil {

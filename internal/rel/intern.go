@@ -18,6 +18,11 @@ package rel
 // (ID, Value, Len) are safe once interning is complete, which is the
 // access pattern of the parallel executors in internal/engine: intern
 // sequentially during the build phase, probe read-only from workers.
+// The epoch machinery (epoch.go, snapshot.go) turns this discipline
+// into a structural guarantee: dictionaries reachable from a
+// published Snapshot are sealed — no code path interns into them
+// again — so snapshot readers need no coordination at all, and
+// FrozenDict is the read-only facade that makes the freeze a type.
 type Interner struct {
 	ints map[int64]uint32
 	strs map[string]uint32
@@ -67,6 +72,27 @@ func (in *Interner) Value(id uint32) Value { return in.vals[id] }
 
 // Len returns the number of distinct values interned.
 func (in *Interner) Len() int { return len(in.vals) }
+
+// Clone returns a deep copy of the dictionary: same values, same IDs,
+// fully independent storage. It is the copy-on-write primitive of the
+// epoch machinery — a writer that must keep interning after its
+// dictionary was sealed into a published snapshot clones it first, so
+// the snapshot's readers never observe a map write.
+func (in *Interner) Clone() *Interner {
+	c := &Interner{
+		ints: make(map[int64]uint32, len(in.ints)),
+		strs: make(map[string]uint32, len(in.strs)),
+		vals: make([]Value, len(in.vals)),
+	}
+	for k, v := range in.ints {
+		c.ints[k] = v
+	}
+	for k, v := range in.strs {
+		c.strs[k] = v
+	}
+	copy(c.vals, in.vals)
+	return c
+}
 
 // HashIDs mixes a sequence of interned IDs into a 64-bit hash
 // (FNV-1a over the IDs followed by a splitmix64-style finisher). The

@@ -1,0 +1,138 @@
+package rel
+
+// This file implements the published, immutable side of the epoch
+// machinery: Snapshot is a frozen view of a store — one sealed
+// relation per schema name plus a version per relation — and
+// FrozenDict is the read-only dictionary facade a snapshot hands out.
+// A snapshot is produced only by an Epoch writer's Publish (epoch.go)
+// and never mutated afterwards, which is what makes it safe for
+// unlimited concurrent readers: every structure reachable from it
+// (relations, their ID columns, their dedup indexes, their interners)
+// is quiescent by construction, not by convention. Snapshot therefore
+// implements ReadStore and deliberately NOT Store: there is no method
+// through which a mutation could reach a published snapshot, turning
+// the old prose dictionary-quiescence contract into a type-level one.
+
+import "fmt"
+
+// Snapshot is an immutable published view of a store: a frozen
+// relation (with its frozen dictionary) per schema name, plus a
+// monotone version per relation and a global epoch number. Snapshots
+// share structure: a relation untouched between two epochs is the
+// same *Relation in both snapshots (and its version is unchanged), so
+// publishing is O(schema) in the number of relations, not O(data).
+//
+// All methods are safe for unlimited concurrent readers. The
+// *Relation handles a snapshot exposes (Rel, View, Materialized's
+// aliased path) are sealed: mutating one is a contract violation the
+// quiescence analyzer flags statically.
+type Snapshot struct {
+	schema   Schema
+	epoch    uint64
+	rels     map[string]*Relation
+	versions map[string]uint64
+}
+
+var _ ReadStore = (*Snapshot)(nil)
+
+// Schema implements ReadStore.
+func (s *Snapshot) Schema() Schema { return s.schema }
+
+// Epoch returns the snapshot's epoch number: 0 for the initial empty
+// snapshot, incremented by every Publish.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Rel returns the sealed relation assigned to name. It panics when
+// name is not in the schema. The relation is frozen: read-only, safe
+// for concurrent readers, never mutated by any future epoch.
+func (s *Snapshot) Rel(name string) *Relation {
+	r, ok := s.rels[name]
+	if !ok {
+		panic(fmt.Sprintf("rel: relation %q not in schema", name))
+	}
+	return r
+}
+
+// View implements ReadStore: the sealed relation itself is the view,
+// with no indirection — evaluators running on a snapshot pay nothing
+// for immutability.
+func (s *Snapshot) View(name string) StoredRel { return s.Rel(name) }
+
+// Size implements ReadStore.
+func (s *Snapshot) Size() int {
+	n := 0
+	for _, r := range s.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Version returns the named relation's version: 0 until the relation
+// is first written, then incremented by every Publish that sealed a
+// change to it. It panics when name is not in the schema. Plan caches
+// and cross-epoch diffing key on (name, version): an unchanged
+// version guarantees the same *Relation pointer, hence byte-identical
+// scans.
+func (s *Snapshot) Version(name string) uint64 {
+	if _, ok := s.schema[name]; !ok {
+		panic(fmt.Sprintf("rel: relation %q not in schema", name))
+	}
+	return s.versions[name]
+}
+
+// Dict returns the named relation's frozen dictionary: the read-only
+// facade over the sealed relation's value table. It panics when name
+// is not in the schema.
+func (s *Snapshot) Dict(name string) FrozenDict { return FreezeDict(s.Rel(name).Interner()) }
+
+// FrozenDict is a read-only dictionary facade over a prefix of an
+// Interner's value table: the IDs [0, Len()) assigned up to the
+// moment the dictionary was frozen. It has no interning method, so a
+// holder cannot grow the dictionary — reads only, by type.
+//
+// Safety: a FrozenDict handed out by a Snapshot wraps a sealed
+// interner that no writer will ever touch again, so every method is
+// safe for unlimited concurrent readers. The prefix bound adds a
+// second guarantee — a facade frozen over a still-live dictionary
+// (FreezeDict on a writer's working interner) never reports values
+// interned after the freeze point — but read-safety against a
+// concurrently-interning writer comes only from sealing, never from
+// the bound: freeze live dictionaries for single-goroutine use only.
+type FrozenDict struct {
+	in *Interner
+	n  int
+}
+
+// FreezeDict freezes the dictionary at its current length. The zero
+// FrozenDict is valid and empty.
+func FreezeDict(in *Interner) FrozenDict {
+	if in == nil {
+		return FrozenDict{}
+	}
+	return FrozenDict{in: in, n: in.Len()}
+}
+
+// Len returns the number of values in the frozen prefix.
+func (d FrozenDict) Len() int { return d.n }
+
+// Value returns the value with the given ID. It panics when the ID is
+// outside the frozen prefix.
+func (d FrozenDict) Value(id uint32) Value {
+	if int(id) >= d.n {
+		panic(fmt.Sprintf("rel: frozen dictionary ID %d outside prefix of length %d", id, d.n))
+	}
+	return d.in.Value(id)
+}
+
+// ID returns the ID of v; ok is false when v was not interned before
+// the freeze point.
+func (d FrozenDict) ID(v Value) (uint32, bool) {
+	if d.in == nil {
+		return 0, false
+	}
+	id, ok := d.in.ID(v)
+	if !ok || int(id) >= d.n {
+		return 0, false
+	}
+	return id, true
+}

@@ -1,0 +1,293 @@
+package rel
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func epochSchema() Schema {
+	return NewSchema(map[string]int{"R": 2, "S": 1})
+}
+
+// TestEpochPublishVisibility pins the core epoch semantics: writes
+// accumulate privately, Publish makes them visible atomically, and the
+// epoch and version counters advance exactly when state does.
+func TestEpochPublishVisibility(t *testing.T) {
+	w := NewEpoch(epochSchema())
+	s0 := w.Snapshot()
+	if s0 == nil || s0.Epoch() != 0 || s0.Size() != 0 {
+		t.Fatalf("fresh epoch writer: snapshot %v", s0)
+	}
+	w.AddInts("R", 1, 2)
+	w.AddInts("S", 7)
+	if w.Snapshot() != s0 || s0.Size() != 0 {
+		t.Fatalf("unpublished writes leaked into the snapshot")
+	}
+	if w.Size() != 2 || !w.View("R").Contains(Ints(1, 2)) {
+		t.Fatalf("writer does not see its own writes")
+	}
+	if !w.Dirty("R") || !w.Dirty("S") {
+		t.Fatalf("written relations not dirty")
+	}
+	s1 := w.Publish()
+	if s1.Epoch() != 1 || w.Snapshot() != s1 {
+		t.Fatalf("publish did not advance the snapshot (epoch %d)", s1.Epoch())
+	}
+	if s1.Size() != 2 || !s1.Rel("R").Contains(Ints(1, 2)) || !s1.Rel("S").Contains(Ints(7)) {
+		t.Fatalf("published snapshot missing writes")
+	}
+	if s1.Version("R") != 1 || s1.Version("S") != 1 {
+		t.Fatalf("versions not bumped: R=%d S=%d", s1.Version("R"), s1.Version("S"))
+	}
+	if w.Dirty("R") {
+		t.Fatalf("relation still dirty after publish")
+	}
+	// An epoch with writes to R only: S's version and pointer must not
+	// move (structural sharing), R's must.
+	w.AddInts("R", 3, 4)
+	s2 := w.Publish()
+	if s2.Epoch() != 2 || s2.Version("R") != 2 || s2.Version("S") != 1 {
+		t.Fatalf("epoch 2 versions: R=%d S=%d", s2.Version("R"), s2.Version("S"))
+	}
+	if s2.Rel("S") != s1.Rel("S") {
+		t.Fatalf("untouched relation was not shared between snapshots")
+	}
+	if s2.Rel("R") == s1.Rel("R") {
+		t.Fatalf("written relation shared with the previous snapshot")
+	}
+	// An empty publish still advances the epoch, sharing everything.
+	s3 := w.Publish()
+	if s3.Epoch() != 3 || s3.Rel("R") != s2.Rel("R") || s3.Rel("S") != s2.Rel("S") {
+		t.Fatalf("empty publish: epoch %d", s3.Epoch())
+	}
+	if s3.Version("R") != 2 || s3.Version("S") != 1 {
+		t.Fatalf("empty publish bumped a version")
+	}
+}
+
+// TestEpochCOWIdentity pins the byte-identity property the
+// copy-on-write clone must preserve: after the writer clones a sealed
+// relation and keeps appending, the published snapshot is untouched,
+// and the next snapshot's relation replays the previous one's interned
+// ID columns and scan order as an exact prefix.
+func TestEpochCOWIdentity(t *testing.T) {
+	w := NewEpoch(epochSchema())
+	for i := int64(0); i < 100; i++ {
+		w.AddInts("R", i%17, i)
+	}
+	s1 := w.Publish()
+	r1 := s1.Rel("R")
+	cols1, dict1 := r1.IDColumns()
+	frozenLen := r1.Len()
+	frozen := make([][]uint32, len(cols1))
+	for k, c := range cols1 {
+		frozen[k] = append([]uint32(nil), c...)
+	}
+	// Write through the epoch: the sealed relation must not move.
+	for i := int64(100); i < 150; i++ {
+		w.AddInts("R", i%17, i)
+	}
+	if r1.Len() != frozenLen {
+		t.Fatalf("published relation grew under the writer: %d -> %d", frozenLen, r1.Len())
+	}
+	cols1b, dict1b := r1.IDColumns()
+	if dict1b != dict1 {
+		t.Fatalf("published relation's dictionary changed identity")
+	}
+	for k := range frozen {
+		for i, id := range frozen[k] {
+			if cols1b[k][i] != id {
+				t.Fatalf("published ID column %d changed at %d", k, i)
+			}
+		}
+	}
+	s2 := w.Publish()
+	r2 := s2.Rel("R")
+	if r2.Len() != 150 {
+		t.Fatalf("epoch-2 relation has %d tuples", r2.Len())
+	}
+	// The clone rebuilt through Add in insertion order: identical ID
+	// assignment, columns and scan order on the shared prefix.
+	cols2, _ := r2.IDColumns()
+	for k := range frozen {
+		for i, id := range frozen[k] {
+			if cols2[k][i] != id {
+				t.Fatalf("COW clone diverges in ID column %d at %d: %d vs %d", k, i, cols2[k][i], id)
+			}
+		}
+	}
+	c1, c2 := r1.Scan(), r2.Scan()
+	for i := 0; i < frozenLen; i++ {
+		t1, _ := c1.Next()
+		t2, _ := c2.Next()
+		if !t1.Equal(t2) {
+			t.Fatalf("COW clone diverges in scan order at %d: %s vs %s", i, t1, t2)
+		}
+	}
+}
+
+// TestEpochFromStore pins the loader: the published epoch-1 snapshot
+// equals the source store byte for byte.
+func TestEpochFromStore(t *testing.T) {
+	d := NewDatabase(epochSchema())
+	for i := int64(0); i < 40; i++ {
+		d.AddInts("R", i%5, i)
+		d.AddInts("S", i%11)
+	}
+	w := EpochFromStore(d)
+	s := w.Snapshot()
+	if s.Epoch() != 1 {
+		t.Fatalf("EpochFromStore published epoch %d", s.Epoch())
+	}
+	if !StoresEqual(d, s) {
+		t.Fatalf("epoch snapshot differs from source")
+	}
+	dc, sc := d.Rel("R").Scan(), s.Rel("R").Scan()
+	for {
+		dt, dok := dc.Next()
+		st, sok := sc.Next()
+		if dok != sok {
+			t.Fatalf("scan lengths differ")
+		}
+		if !dok {
+			break
+		}
+		if !dt.Equal(st) {
+			t.Fatalf("scan order differs: %s vs %s", dt, st)
+		}
+	}
+}
+
+// TestFrozenDictPrefix pins the facade semantics: the frozen prefix is
+// fixed at freeze time, post-freeze interns are invisible, and
+// out-of-prefix access panics.
+func TestFrozenDictPrefix(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern(Int(1))
+	b := in.Intern(Str("x"))
+	d := FreezeDict(in)
+	if d.Len() != 2 {
+		t.Fatalf("frozen Len %d", d.Len())
+	}
+	late := in.Intern(Int(99)) // post-freeze intern: outside the prefix
+	if d.Len() != 2 {
+		t.Fatalf("freeze point moved")
+	}
+	if id, ok := d.ID(Int(1)); !ok || id != a {
+		t.Fatalf("frozen ID(1) = %d, %v", id, ok)
+	}
+	if d.Value(b).String() != "x" {
+		t.Fatalf("frozen Value(%d) = %s", b, d.Value(b))
+	}
+	if _, ok := d.ID(Int(99)); ok {
+		t.Fatalf("post-freeze value visible through the facade")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("Value outside the prefix did not panic")
+			}
+		}()
+		d.Value(late)
+	}()
+	var zero FrozenDict
+	if zero.Len() != 0 {
+		t.Fatalf("zero FrozenDict Len %d", zero.Len())
+	}
+	if _, ok := zero.ID(Int(1)); ok {
+		t.Fatalf("zero FrozenDict resolved an ID")
+	}
+}
+
+// TestSnapshotIsolationRandomized is the tentpole's -race proof at the
+// rel layer: reader goroutines continuously grab the current snapshot
+// and verify it is byte-identical to the quiesced expectation for its
+// epoch — same tuples, same insertion order, same interned ID columns
+// — while the writer keeps appending and publishing. A reader also
+// pins stale-snapshot stability: the first snapshot it saw must still
+// verify after every later publish has happened.
+func TestSnapshotIsolationRandomized(t *testing.T) {
+	const epochs = 24
+	// Deterministic schedule: epoch e appends rows [20e, 20e+20) in a
+	// shuffled-ish order derived from the row index.
+	rowsAt := func(e int) []Tuple {
+		var ts []Tuple
+		for i := int64(0); i < int64(20*e); i++ {
+			ts = append(ts, Ints((i*7)%13, i))
+		}
+		return ts
+	}
+	// expected[e] is the exact insertion-order content of R at epoch e.
+	expected := make([][]Tuple, epochs+1)
+	for e := 0; e <= epochs; e++ {
+		expected[e] = rowsAt(e)
+	}
+	verify := func(s *Snapshot) error {
+		e := int(s.Epoch())
+		want := expected[e]
+		r := s.Rel("R")
+		if r.Len() != len(want) {
+			return fmt.Errorf("epoch %d: %d tuples, want %d", e, r.Len(), len(want))
+		}
+		c := r.Scan()
+		for i, wt := range want {
+			got, ok := c.Next()
+			if !ok || !got.Equal(wt) {
+				return fmt.Errorf("epoch %d: scan diverges at %d: %s vs %s", e, i, got, wt)
+			}
+		}
+		// The interned ID columns are deterministic too: rebuilding the
+		// same insertion sequence assigns the same IDs.
+		cols, dict := r.IDColumns()
+		for i, wt := range want {
+			for k := range wt {
+				if dict.Value(cols[k][i]) != wt[k] {
+					return fmt.Errorf("epoch %d: ID column %d decodes wrong at %d", e, k, i)
+				}
+			}
+		}
+		return nil
+	}
+	w := NewEpoch(epochSchema())
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			first := w.Snapshot()
+			for {
+				select {
+				case <-done:
+					// Stale snapshots verify after every later publish.
+					if err := verify(first); err != nil {
+						errs <- fmt.Errorf("stale snapshot: %v", err)
+					}
+					return
+				default:
+				}
+				if err := verify(w.Snapshot()); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for e := 1; e <= epochs; e++ {
+		for i := 20 * (e - 1); i < 20*e; i++ {
+			w.AddInts("R", (int64(i)*7)%13, int64(i))
+		}
+		s := w.Publish()
+		if int(s.Epoch()) != e {
+			t.Fatalf("published epoch %d, want %d", s.Epoch(), e)
+		}
+	}
+	close(done)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -47,21 +47,32 @@ type StoredRel interface {
 	Contains(t Tuple) bool
 }
 
-// Store is a database backend: a schema plus one relation per schema
-// name, created lazily as empty. It is the parameter type of every
-// evaluator in internal/ra, internal/sa and internal/xra.
-type Store interface {
+// ReadStore is the read side of a database backend: a schema plus one
+// read-only relation view per schema name. It is the parameter type of
+// every evaluator in internal/ra, internal/sa and internal/xra — the
+// evaluators never write into their input store, and taking only the
+// read interface makes that a type-level fact. A published *Snapshot
+// implements ReadStore and nothing more: there is no way to route a
+// mutation through it.
+type ReadStore interface {
 	// Schema returns the store's schema.
 	Schema() Schema
 	// View returns the handle of the named relation; it panics when
 	// name is not in the schema.
 	View(name string) StoredRel
+	// Size returns the sum of the relations' cardinalities.
+	Size() int
+}
+
+// Store is a writable database backend: the read side plus Add. It is
+// what loaders (CopyStore, the text codec's ReadText consumers) and
+// result sinks require.
+type Store interface {
+	ReadStore
 	// Add inserts a tuple into the named relation, reporting whether it
 	// was new. It panics when name is not in the schema or the arity is
 	// wrong.
 	Add(name string, t Tuple) bool
-	// Size returns the sum of the relations' cardinalities.
-	Size() int
 }
 
 var _ Store = (*Database)(nil)
@@ -71,11 +82,15 @@ var _ TupleCursor = (*Cursor)(nil)
 // Materialized returns the named relation of s as a *Relation, for
 // consumers that need whole-relation operations (the materialized
 // evaluators' base case, the shard executors' broadcast sides). For
-// the in-memory Database it is the stored relation itself — aliased is
-// true and the caller must treat it as read-only; any other backend
-// materializes a fresh snapshot from a scan, owned by the caller.
-func Materialized(s Store, name string) (r *Relation, aliased bool) {
-	if d, ok := s.(*Database); ok {
+// the in-memory Database — and for a published Snapshot, whose sealed
+// relations are frozen — it is the stored relation itself: aliased is
+// true and the caller must treat it as read-only. Any other backend
+// materializes a fresh copy from a scan, owned by the caller.
+func Materialized(s ReadStore, name string) (r *Relation, aliased bool) {
+	switch d := s.(type) {
+	case *Database:
+		return d.Rel(name), true
+	case *Snapshot:
 		return d.Rel(name), true
 	}
 	v := s.View(name)
@@ -100,7 +115,7 @@ type Reserver interface {
 // built source reproduces deterministically in any destination
 // backend. Every relation of src's schema must exist in dst's schema
 // with the same arity; dst keeps any relations of its own.
-func CopyStore(dst, src Store) {
+func CopyStore(dst Store, src ReadStore) {
 	res, _ := dst.(Reserver)
 	for _, name := range src.Schema().Names() {
 		v := src.View(name)
@@ -119,7 +134,7 @@ func CopyStore(dst, src Store) {
 // compared). It is Database.Equal generalized over backends, so a
 // sharded store can be compared against the in-memory database it was
 // loaded from.
-func StoresEqual(a, b Store) bool {
+func StoresEqual(a, b ReadStore) bool {
 	as, bs := a.Schema(), b.Schema()
 	if len(as) != len(bs) {
 		return false
@@ -147,7 +162,7 @@ func StoresEqual(a, b Store) bool {
 // against an expression's expectation, panicking with the caller's
 // package prefix on mismatch — the shared base-relation resolution of
 // the three algebras' evaluators.
-func CheckView(s Store, name string, arity int, pkg string) StoredRel {
+func CheckView(s ReadStore, name string, arity int, pkg string) StoredRel {
 	v := s.View(name)
 	if v.Arity() != arity {
 		panic(fmt.Sprintf("%s: relation %s has arity %d in database, expression expects %d", pkg, name, v.Arity(), arity))
@@ -156,23 +171,27 @@ func CheckView(s Store, name string, arity int, pkg string) StoredRel {
 }
 
 // BaseResolver is the base-relation resolution of a materialized
-// evaluator over a Store, shared by the ra and sa evaluators so the
-// ownership and memoization rules live in one place. For the
-// in-memory Database it hands out the stored relations themselves
-// (aliased, zero copies); any other backend materializes each
-// relation once per evaluation and serves later references from the
-// memo — a relation named k times in an expression is copied once.
+// evaluator over a ReadStore, shared by the ra and sa evaluators so
+// the ownership and memoization rules live in one place. For the
+// in-memory Database and for a published Snapshot it hands out the
+// stored relations themselves (aliased, zero copies); any other
+// backend materializes each relation once per evaluation and serves
+// later references from the memo — a relation named k times in an
+// expression is copied once.
 type BaseResolver struct {
-	s    Store
+	s    ReadStore
 	pkg  string
-	memo map[string]*Relation // nil for the in-memory Database
+	memo map[string]*Relation // nil for the zero-copy backends
 }
 
 // NewBaseResolver returns a resolver panicking with the given package
 // prefix on arity mismatches.
-func NewBaseResolver(s Store, pkg string) *BaseResolver {
+func NewBaseResolver(s ReadStore, pkg string) *BaseResolver {
 	r := &BaseResolver{s: s, pkg: pkg}
-	if _, mem := s.(*Database); !mem {
+	switch s.(type) {
+	case *Database, *Snapshot:
+		// zero-copy views: no memo needed
+	default:
 		r.memo = make(map[string]*Relation)
 	}
 	return r

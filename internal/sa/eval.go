@@ -39,8 +39,8 @@ func (tr *Trace) record(e Expr, size int) {
 	tr.TotalTuples += size
 }
 
-// Eval evaluates the expression on a store (any rel.Store backend).
-func Eval(e Expr, d rel.Store) *rel.Relation {
+// Eval evaluates the expression on a store (any rel.ReadStore backend).
+func Eval(e Expr, d rel.ReadStore) *rel.Relation {
 	res, _ := EvalTraced(e, d)
 	return res
 }
@@ -57,7 +57,7 @@ func Eval(e Expr, d rel.Store) *rel.Relation {
 // writes through to the store. Every operator node already returns a
 // fresh relation; interior relation-name results are aliased read-only
 // views that never escape.
-func EvalTraced(e Expr, d rel.Store) (*rel.Relation, *Trace) {
+func EvalTraced(e Expr, d rel.ReadStore) (*rel.Relation, *Trace) {
 	if err := Validate(e); err != nil {
 		panic("sa: invalid expression: " + err.Error())
 	}
@@ -83,7 +83,7 @@ type evaluator struct {
 	rels *rel.BaseResolver
 }
 
-func newEvaluator(d rel.Store) *evaluator {
+func newEvaluator(d rel.ReadStore) *evaluator {
 	return &evaluator{rels: rel.NewBaseResolver(d, "sa")}
 }
 

@@ -26,7 +26,7 @@ import (
 // EvalStreamed evaluates the expression with the streaming executor
 // and returns the result relation. The result is always a fresh
 // relation owned by the caller.
-func EvalStreamed(e Expr, d rel.Store) *rel.Relation {
+func EvalStreamed(e Expr, d rel.ReadStore) *rel.Relation {
 	res, _ := EvalStreamedTraced(e, d)
 	return res
 }
@@ -38,7 +38,7 @@ func EvalStreamed(e Expr, d rel.Store) *rel.Relation {
 // subtrahend of a difference, the replayed side of a θ-semijoin) count
 // zero. MaxResident is filled in (see Trace). The expression is
 // validated first, as in EvalTraced.
-func EvalStreamedTraced(e Expr, d rel.Store) (*rel.Relation, *Trace) {
+func EvalStreamedTraced(e Expr, d rel.ReadStore) (*rel.Relation, *Trace) {
 	if err := Validate(e); err != nil {
 		panic("sa: invalid expression: " + err.Error())
 	}
@@ -107,7 +107,7 @@ func (c *saCountCursor) Next() (rel.Tuple, bool) {
 
 // streamBuilder translates an SA expression tree into a cursor plan.
 type streamBuilder struct {
-	d     rel.Store
+	d     rel.ReadStore
 	meter *ra.Meter
 }
 

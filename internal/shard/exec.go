@@ -11,6 +11,13 @@ package shard
 // for its worker partitions). With one shard every entry point
 // delegates straight to the sequential algorithm on the underlying
 // store: no routing happened at load time and none is paid here.
+//
+// Every entry point takes a Source: the live *Database (the writer's
+// uncommitted view, safe when nothing is concurrently mutating) or a
+// published *Snapshot (safe unconditionally — run on snapshot N while
+// the writer loads N+1). Either way the source is only read, and the
+// results are byte-identical: a snapshot scans, routes and merges
+// exactly like the live store that published it.
 
 import (
 	"time"
@@ -39,7 +46,7 @@ type Stats struct {
 
 // arityOf checks a relation's arity with a shard-prefixed panic,
 // through the same rel.CheckView the evaluators use.
-func arityOf(db *Database, name string, want int) {
+func arityOf(db Source, name string, want int) {
 	rel.CheckView(db, name, want, "shard")
 }
 
@@ -51,18 +58,18 @@ func arityOf(db *Database, name string, want int) {
 // dividend router's gid order — the sequential Hash emission order, so
 // the result is byte-identical to division.Hash on the merged
 // relations at every shard count. workers <= 0 means one per CPU.
-func Divide(db *Database, rName, sName string, sem division.Semantics, workers int) (*rel.Relation, Stats) {
+func Divide(db Source, rName, sName string, sem division.Semantics, workers int) (*rel.Relation, Stats) {
 	arityOf(db, rName, 2)
 	arityOf(db, sName, 1)
 	if db.NumShards() == 1 {
-		d := db.Shard(0)
-		out, st := division.Hash{}.Divide(d.Rel(rName), d.Rel(sName), sem)
+		sRel := db.ShardRel(0, sName)
+		out, st := division.Hash{}.Divide(db.ShardRel(0, rName), sRel, sem)
 		// Hash's MaxMemoryTuples includes the divisor table; subtract
 		// it so the figure counts the same thing DivideShard reports
 		// for multi-shard runs (group state only — the divisor is
 		// broadcast, not shard-local) and the column is comparable
 		// across shard counts.
-		return out, Stats{ShardResident: []int{st.MaxMemoryTuples - d.Rel(sName).Len()}}
+		return out, Stats{ShardResident: []int{st.MaxMemoryTuples - sRel.Len()}}
 	}
 	sRel, _ := rel.Materialized(db, sName) // broadcast side, read-only
 	dt := division.NewDivisorTable(sRel)
@@ -73,7 +80,7 @@ func Divide(db *Database, rName, sName string, sem division.Semantics, workers i
 	// columns.
 	cursors := make([]engine.BatchCursor, n)
 	for q := range cursors {
-		cursors[q] = db.Shard(q).Rel(rName).BatchScan()
+		cursors[q] = db.ShardRel(q, rName).BatchScan()
 	}
 	qualified := make([]map[rel.Value]bool, n)
 	resident := make([]int, n)
@@ -85,12 +92,8 @@ func Divide(db *Database, rName, sName string, sem division.Semantics, workers i
 	st := Stats{ShardResident: resident}
 	mergeStart := time.Now()
 	rt := db.Router(rName)
-	hint := 0
-	if rt != nil {
-		hint = rt.Len()
-	}
-	out := rel.NewRelationSized(1, hint)
-	for gid := 0; rt != nil && gid < rt.Len(); gid++ {
+	out := rel.NewRelationSized(1, rt.Len())
+	for gid := 0; gid < rt.Len(); gid++ {
 		st.Merged++
 		v := rt.Value(uint32(gid))
 		if qualified[engine.PartOf(uint32(gid), n)][v] {
@@ -108,7 +111,7 @@ func Divide(db *Database, rName, sName string, sem division.Semantics, workers i
 // group's pairs in the R router's gid order — reproducing the
 // sequential setjoin.SignatureContainment emission byte for byte at
 // every shard count. workers <= 0 means one per CPU.
-func ContainmentJoin(db *Database, rName, sName string, workers int) (*rel.Relation, Stats) {
+func ContainmentJoin(db Source, rName, sName string, workers int) (*rel.Relation, Stats) {
 	return shardedSetJoin(db, rName, sName, workers, true)
 }
 
@@ -119,7 +122,7 @@ func ContainmentJoin(db *Database, rName, sName string, workers int) (*rel.Relat
 // rank — reproducing the sequential setjoin.HashEquality emission
 // (S-major, R insertion order within a probe) byte for byte at every
 // shard count. workers <= 0 means one per CPU.
-func EqualityJoin(db *Database, rName, sName string, workers int) (*rel.Relation, Stats) {
+func EqualityJoin(db Source, rName, sName string, workers int) (*rel.Relation, Stats) {
 	return shardedSetJoin(db, rName, sName, workers, false)
 }
 
@@ -133,12 +136,11 @@ func groupsHeld(gs []*setjoin.Group) int {
 	return held
 }
 
-func shardedSetJoin(db *Database, rName, sName string, workers int, containment bool) (*rel.Relation, Stats) {
+func shardedSetJoin(db Source, rName, sName string, workers int, containment bool) (*rel.Relation, Stats) {
 	arityOf(db, rName, 2)
 	arityOf(db, sName, 2)
 	if db.NumShards() == 1 {
-		d := db.Shard(0)
-		rG, sG := setjoin.Groups(d.Rel(rName)), setjoin.Groups(d.Rel(sName))
+		rG, sG := setjoin.Groups(db.ShardRel(0, rName)), setjoin.Groups(db.ShardRel(0, sName))
 		var out *rel.Relation
 		if containment {
 			out, _ = setjoin.SignatureContainment{}.Join(rG, sG)
@@ -159,7 +161,7 @@ func shardedSetJoin(db *Database, rName, sName string, workers int, containment 
 	eqPairs := make([][][]setjoin.RankedPair, n)
 	resident := make([]int, n)
 	engine.Executor{Workers: workers}.Run(n, func(q int) {
-		rGroups := setjoin.Groups(db.Shard(q).Rel(rName))
+		rGroups := setjoin.Groups(db.ShardRel(q, rName))
 		resident[q] = groupsHeld(rGroups)
 		if containment {
 			containPairs[q], _ = setjoin.ShardContainment(rGroups, sGroups)
@@ -188,7 +190,7 @@ func shardedSetJoin(db *Database, rName, sName string, workers int, containment 
 	if containment {
 		// R-major merge: walk the dividend router's gids in order and
 		// splice in each group's pair list from its owning shard.
-		for gid := 0; rt != nil && gid < rt.Len(); gid++ {
+		for gid := 0; gid < rt.Len(); gid++ {
 			st.Merged++
 			v := rt.Value(uint32(gid))
 			for _, p := range containPairs[engine.PartOf(uint32(gid), n)][v] {

@@ -1,21 +1,22 @@
-// Package shard implements a hash-partitioned rel.Store: one logical
-// database split across N shard-local in-memory stores. Every relation
-// is partitioned by the interned ID of its tuples' first column —
-// routed through the same deterministic avalanche partitioner
-// (engine.PartOf) the parallel executors use — so all tuples sharing a
-// group key land in the same shard. That invariant is what lets the
-// group-keyed algorithms (hash division, the set joins) run
-// shard-locally and merge without cross-shard traffic: a shard holds
-// its groups whole.
+// Package shard implements a hash-partitioned store with snapshot
+// epochs: one logical database split across N shard-local epoch
+// writers (rel.Epoch), publishing immutable Snapshots in lockstep.
+// Every relation is partitioned by the interned ID of its tuples'
+// first column — routed through the same deterministic avalanche
+// partitioner (engine.PartOf) the parallel executors use — so all
+// tuples sharing a group key land in the same shard. That invariant is
+// what lets the group-keyed algorithms (hash division, the set joins)
+// run shard-locally and merge without cross-shard traffic: a shard
+// holds its groups whole.
 //
 // Routing dictionaries are per relation: each relation name owns a
 // rel.Interner over the first-column values it has seen, in insertion
 // order, so a relation's router IDs are exactly the group IDs the
 // sequential hash algorithms assign — the merge phase walks them in
 // order and reproduces the single-store emission sequence byte for
-// byte (see exec.go). Each shard-local store is a full *rel.Database
-// with its own per-relation interners and dedup indexes; nothing is
-// shared between shards except the read-only routing dictionaries.
+// byte (see exec.go). Each shard-local store is a full rel.Epoch with
+// its own per-relation interners and dedup indexes; nothing is shared
+// between shards except the read-only routing dictionaries.
 //
 // The Store contract's insertion-order Scan is preserved across
 // partitioning by a placement log: per relation, the (shard, local
@@ -25,13 +26,25 @@
 // in-memory database — the property the randomized equivalence suite
 // pins at shard counts 1, 2 and 4.
 //
-// With one shard the whole apparatus switches off: no routing, no
+// Epochs extend that equivalence across concurrent mutation: Publish
+// seals every shard's state in lockstep and hands out a *Snapshot —
+// an immutable rel.ReadStore any number of goroutines may evaluate
+// against while the writer keeps loading the next epoch. The snapshot
+// shares structure with the live store three ways: unchanged
+// shard-local relations are the same *rel.Relation pointers (rel's
+// copy-on-write epochs), routing dictionaries are frozen facades
+// cloned by the writer only on the next post-publish intern, and the
+// placement log is prefix-shared (it is append-only, and a snapshot
+// captures its length).
+//
+// With one shard the routing apparatus switches off: no routing, no
 // placement log, every operation delegates to the single underlying
-// *rel.Database at zero overhead.
+// rel.Epoch at zero overhead — and Publish still works, sealing that
+// one epoch.
 package shard
 
 import (
-	"fmt"
+	"sync/atomic"
 
 	"radiv/internal/engine"
 	"radiv/internal/rel"
@@ -44,93 +57,137 @@ type place struct {
 	idx   int32
 }
 
-// Database is the hash-partitioned store. It implements rel.Store.
-// Mutate it only through its own Add; writing directly into a
-// shard-local store bypasses the routing and placement bookkeeping.
-// Like the in-memory Database, it is not safe for concurrent mutation;
-// concurrent readers are safe once loading is complete.
-type Database struct {
-	schema    rel.Schema
-	shards    []*rel.Database
-	routers   map[string]*rel.Interner // per-relation first-column dictionary; nil map when single-shard
-	placement map[string][]place       // per-relation global insertion order; nil map when single-shard
+// Source is what the shard-local execution layer (exec.go) runs on: a
+// read store that additionally exposes its partition anatomy — the
+// shard count, each shard's local relations, and the per-relation
+// routing dictionary. Both the live *Database (the writer's
+// uncommitted view) and a published *Snapshot implement it, so every
+// entry point accepts either; pass a snapshot when other goroutines
+// may be writing.
+type Source interface {
+	rel.ReadStore
+	// NumShards returns the shard count.
+	NumShards() int
+	// ShardRel returns shard q's local relation for name. Read-only
+	// for snapshot sources; for the live database the usual
+	// single-writer discipline applies.
+	ShardRel(q int, name string) *rel.Relation
+	// Router returns the named relation's routing dictionary as a
+	// frozen facade: first-column value → dense ID in first-occurrence
+	// order, the group-ID order the shard-local merges emit in. It is
+	// empty (Len 0) when the source has one shard (no routing happens)
+	// or when the relation has no tuples yet.
+	Router(name string) rel.FrozenDict
 }
 
-var _ rel.Store = (*Database)(nil)
+// Database is the hash-partitioned epoch writer. It implements
+// rel.Store (the writer's uncommitted view) and Source. Mutate it only
+// through its own Add; writing directly into a shard-local epoch
+// bypasses the routing and placement bookkeeping. Like rel.Epoch, all
+// methods except Snapshot must be called from a single writer
+// goroutine; concurrent readers of the live store are safe once
+// loading is complete, and published snapshots are safe for unlimited
+// concurrent readers at any time.
+type Database struct {
+	schema rel.Schema
+	shards []*rel.Epoch
+	// routers holds the writer's current routing dictionaries. After a
+	// Publish they are shared with the snapshot (sealed); the first
+	// post-publish intern into one clones it first (copy-on-write), so
+	// snapshot readers never observe a dictionary write. Nil map when
+	// single-shard.
+	routers map[string]*rel.Interner
+	sealed  map[string]bool // routers shared with the published snapshot
+	// placement is the per-relation global insertion order. The log is
+	// append-only and snapshots capture a length-bounded prefix, so
+	// writer appends and snapshot reads never touch the same entry.
+	// Nil map when single-shard.
+	placement map[string][]place
+	epoch     uint64
+	cur       atomic.Pointer[Snapshot]
+}
+
+var (
+	_ rel.Store = (*Database)(nil)
+	_ Source    = (*Database)(nil)
+)
 
 // New returns an empty sharded database over the schema with n shards
-// (values below 1 mean 1). With n == 1 it is a thin wrapper around one
-// in-memory database: no routing or placement state is kept.
+// (values below 1 mean 1) and an empty epoch-0 snapshot already
+// published: Snapshot never returns nil. With n == 1 it is a thin
+// wrapper around one epoch writer: no routing or placement state is
+// kept.
 func New(schema rel.Schema, n int) *Database {
 	if n < 1 {
 		n = 1
 	}
-	s := &Database{schema: schema, shards: make([]*rel.Database, n)}
+	s := &Database{schema: schema, shards: make([]*rel.Epoch, n)}
 	for i := range s.shards {
-		s.shards[i] = rel.NewDatabase(schema)
-		// Create every schema relation eagerly: the in-memory database
-		// materializes relations lazily on first access, which is a map
-		// write — eager creation keeps every read path (View, Scan,
-		// Contains) write-free, so the documented "concurrent readers
-		// are safe once loading is complete" contract holds even for
-		// relations some shard never received a tuple of.
-		for name := range schema {
-			s.shards[i].Rel(name)
-		}
+		s.shards[i] = rel.NewEpoch(schema)
 	}
 	if n > 1 {
 		s.routers = make(map[string]*rel.Interner, len(schema))
+		s.sealed = make(map[string]bool, len(schema))
 		s.placement = make(map[string][]place, len(schema))
 	}
+	s.cur.Store(s.assemble())
 	return s
 }
 
 // FromStore loads every tuple of src into a new sharded database over
 // src's schema, relations in name order, tuples in insertion order —
 // so the routing dictionaries, and hence the partitioning, are
-// deterministic for a deterministically built source.
-func FromStore(src rel.Store, n int) *Database {
+// deterministic for a deterministically built source — and publishes
+// the loaded state as epoch 1.
+func FromStore(src rel.ReadStore, n int) *Database {
 	s := New(src.Schema(), n)
 	rel.CopyStore(s, src)
+	s.Publish()
 	return s
 }
 
-// NumShards returns the shard count.
+// NumShards implements Source.
 func (s *Database) NumShards() int { return len(s.shards) }
 
-// Shard returns shard i's backing store. Treat it as read-only: the
-// shard-local evaluation paths scan and probe it, but all mutation
-// must go through the sharded database's Add.
-func (s *Database) Shard(i int) *rel.Database { return s.shards[i] }
+// Shard returns shard i's backing epoch writer. Treat its relations as
+// read-only: the shard-local evaluation paths scan and probe them, but
+// all mutation must go through the sharded database's Add.
+func (s *Database) Shard(i int) *rel.Epoch { return s.shards[i] }
 
-// Router returns the named relation's routing dictionary: first-column
-// value → dense ID in first-occurrence order, the group-ID order the
-// shard-local merges emit in. It is nil when the database has one
-// shard (no routing happens) or when the relation has no tuples yet.
-func (s *Database) Router(name string) *rel.Interner { return s.routers[name] }
+// ShardRel implements Source: shard q's local relation as the writer
+// currently sees it (this epoch's working copy when written, the
+// sealed base otherwise).
+func (s *Database) ShardRel(q int, name string) *rel.Relation { return s.shards[q].Rel(name) }
+
+// Router implements Source: the writer's current routing dictionary,
+// frozen at its current length. Empty when the database has one shard
+// or the relation has no tuples yet.
+func (s *Database) Router(name string) rel.FrozenDict { return rel.FreezeDict(s.routers[name]) }
 
 // Schema implements rel.Store.
 func (s *Database) Schema() rel.Schema { return s.schema }
 
-// Size implements rel.Store.
+// Size implements rel.Store, over the writer's view.
 func (s *Database) Size() int {
 	n := 0
-	for _, d := range s.shards {
-		n += d.Size()
+	for _, e := range s.shards {
+		n += e.Size()
 	}
 	return n
 }
 
 // Add implements rel.Store: the tuple is routed to its shard by the
 // interned ID of its first column (arity-0 tuples go to shard 0) and
-// inserted into the shard-local relation, which deduplicates —
-// duplicates route identically, so set semantics holds globally.
+// inserted into the shard-local relation's working copy, which
+// deduplicates — duplicates route identically, so set semantics holds
+// globally. The write lands in the current epoch's private state;
+// published snapshots never see it.
 func (s *Database) Add(name string, t rel.Tuple) bool {
 	if len(s.shards) == 1 {
 		return s.shards[0].Add(name, t)
 	}
 	q := s.route(name, t)
-	r := s.shards[q].Rel(name)
+	r := s.shards[q].Mutable(name)
 	pos := r.Len()
 	if !r.Add(t) {
 		return false
@@ -146,7 +203,11 @@ func (s *Database) AddInts(name string, ns ...int64) bool { return s.Add(name, r
 func (s *Database) AddStrs(name string, ss ...string) bool { return s.Add(name, rel.Strs(ss...)) }
 
 // route assigns t's shard, interning its first column into the named
-// relation's routing dictionary.
+// relation's routing dictionary — after cloning the dictionary if it
+// is still shared with the published snapshot (copy-on-write: paid at
+// most once per relation per epoch, and only when a genuinely new
+// first-column value arrives; re-routing a known value reads the
+// sealed dictionary without mutating it).
 func (s *Database) route(name string, t rel.Tuple) int {
 	if len(t) == 0 {
 		return 0
@@ -155,6 +216,14 @@ func (s *Database) route(name string, t rel.Tuple) int {
 	if rt == nil {
 		rt = rel.NewInterner()
 		s.routers[name] = rt
+	}
+	if id, ok := rt.ID(t[0]); ok {
+		return engine.PartOf(id, len(s.shards))
+	}
+	if s.sealed[name] {
+		rt = rt.Clone()
+		s.routers[name] = rt
+		delete(s.sealed, name)
 	}
 	return engine.PartOf(rt.Intern(t[0]), len(s.shards))
 }
@@ -177,84 +246,67 @@ func (s *Database) ShardOf(name string, t rel.Tuple) int {
 	return engine.PartOf(id, len(s.shards))
 }
 
-// View implements rel.Store. With one shard the underlying relation is
-// returned directly — the same zero-indirection view the in-memory
-// Database gives.
+// View implements rel.Store over the writer's uncommitted view. With
+// one shard the underlying relation is returned directly — the same
+// zero-indirection view the in-memory Database gives. Readers wanting
+// published state use Snapshot().View instead.
 func (s *Database) View(name string) rel.StoredRel {
 	if len(s.shards) == 1 {
 		return s.shards[0].Rel(name)
 	}
-	a, ok := s.schema.Arity(name)
-	if !ok {
-		panic(fmt.Sprintf("shard: relation %q not in schema", name))
-	}
-	rels := make([]*rel.Relation, len(s.shards))
-	for i, d := range s.shards {
-		rels[i] = d.Rel(name) // pure read: New created every relation
-	}
-	return &relView{db: s, name: name, arity: a, rels: rels}
+	return newRelView(s, name)
 }
 
 // Equal reports whether the sharded database holds the same schema
 // domain and relation contents as another store (of any backend).
-func (s *Database) Equal(other rel.Store) bool { return rel.StoresEqual(s, other) }
+func (s *Database) Equal(other rel.ReadStore) bool { return rel.StoresEqual(s, other) }
 
-// relView is the multi-shard StoredRel: it resolves the placement log
-// against per-shard relation handles fixed at View time. It holds no
-// mutable state, so one view may be shared by concurrent readers.
-type relView struct {
-	db    *Database
-	name  string
-	arity int
-	rels  []*rel.Relation // per-shard handles, resolved by View
-}
-
-// Arity implements rel.StoredRel.
-func (v *relView) Arity() int { return v.arity }
-
-// Len implements rel.StoredRel: the placement log's length is the
-// global cardinality (only accepted tuples are logged).
-func (v *relView) Len() int { return len(v.db.placement[v.name]) }
-
-// Contains implements rel.StoredRel: route by the first column, probe
-// the owning shard only.
-func (v *relView) Contains(t rel.Tuple) bool {
-	if len(t) != v.arity {
-		return false
+// Publish seals the current epoch across every shard in lockstep —
+// one rel.Epoch.Publish per shard, so the per-shard epoch numbers
+// advance together — freezes the routing dictionaries, captures the
+// placement logs' current lengths, and atomically publishes the
+// combined *Snapshot. Publishing is O(#shards × #relations) pointer
+// and map work; all tuple data is shared structurally with the
+// snapshot (and with previous snapshots, for relations unchanged
+// between them).
+func (s *Database) Publish() *Snapshot {
+	for _, e := range s.shards {
+		e.Publish()
 	}
-	q := v.db.ShardOf(v.name, t)
-	if q < 0 {
-		return false
+	for name := range s.routers {
+		s.sealed[name] = true
 	}
-	return v.rels[q].Contains(t)
+	s.epoch++
+	snap := s.assemble()
+	s.cur.Store(snap)
+	return snap
 }
 
-// Scan implements rel.StoredRel: the cursor walks the placement log,
-// yielding tuples in global insertion order even though they live in
-// different shards. The log and shard handles are resolved once here —
-// Next is index arithmetic plus one slice load, like the in-memory
-// rel.Cursor — so, like rel.Cursor, the cursor covers the tuples
-// present at creation and must not outlive a mutation of the store.
-func (v *relView) Scan() rel.TupleCursor {
-	return &scanCursor{log: v.db.placement[v.name], rels: v.rels}
-}
+// Snapshot returns the most recently published snapshot. It is the one
+// Database method safe to call from any goroutine: one atomic load, no
+// locks, never nil.
+func (s *Database) Snapshot() *Snapshot { return s.cur.Load() }
 
-// scanCursor iterates a sharded relation in global insertion order.
-type scanCursor struct {
-	log  []place
-	rels []*rel.Relation
-	i    int
-}
-
-// Next implements rel.TupleCursor.
-func (c *scanCursor) Next() (rel.Tuple, bool) {
-	if c.i >= len(c.log) {
-		return nil, false
+// assemble builds the immutable snapshot of the current published
+// state: each shard's rel.Snapshot, frozen routers, and
+// length-bounded placement-log prefixes (the three-index slice
+// expression drops spare capacity, so the snapshot's slices can never
+// alias a future writer append).
+func (s *Database) assemble() *Snapshot {
+	shards := make([]*rel.Snapshot, len(s.shards))
+	for i, e := range s.shards {
+		shards[i] = e.Snapshot()
 	}
-	p := c.log[c.i]
-	c.i++
-	return c.rels[p.shard].At(int(p.idx)), true
+	snap := &Snapshot{schema: s.schema, epoch: s.epoch, shards: shards}
+	if len(s.shards) > 1 {
+		snap.routers = make(map[string]rel.FrozenDict, len(s.routers))
+		for name, rt := range s.routers {
+			snap.routers[name] = rel.FreezeDict(rt)
+		}
+		snap.placement = make(map[string][]place, len(s.placement))
+		for name, log := range s.placement {
+			snap.placement[name] = log[:len(log):len(log)]
+		}
+	}
+	return snap
 }
-
-// Reset implements rel.TupleCursor.
-func (c *scanCursor) Reset() { c.i = 0 }

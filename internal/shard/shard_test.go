@@ -106,7 +106,7 @@ func TestShardStoreContract(t *testing.T) {
 // would hand out.
 func TestShardSingleShardDelegation(t *testing.T) {
 	d, s := divisionStores(1, 1)
-	if s.Router("R") != nil {
+	if s.Router("R").Len() != 0 {
 		t.Errorf("single-shard store keeps a router")
 	}
 	v, ok := s.View("R").(*rel.Relation)

@@ -26,7 +26,7 @@ import (
 // EvalStreamed evaluates the expression with the streaming executor
 // and returns the result relation. The result is always a fresh
 // relation owned by the caller.
-func EvalStreamed(e Expr, d rel.Store) *rel.Relation {
+func EvalStreamed(e Expr, d rel.ReadStore) *rel.Relation {
 	res, _ := EvalStreamedTraced(e, d)
 	return res
 }
@@ -36,7 +36,7 @@ func EvalStreamed(e Expr, d rel.Store) *rel.Relation {
 // emitted by each operator (wrapped RA steps report the RA streaming
 // executor's flow counts); MaxResident is filled in (see Trace). The
 // expression is validated first, as in EvalTraced.
-func EvalStreamedTraced(e Expr, d rel.Store) (*rel.Relation, *Trace) {
+func EvalStreamedTraced(e Expr, d rel.ReadStore) (*rel.Relation, *Trace) {
 	if err := Validate(e); err != nil {
 		panic("xra: invalid expression: " + err.Error())
 	}
@@ -92,7 +92,7 @@ func (c *xCountCursor) Next() (rel.Tuple, bool) {
 // xStreamBuilder translates an extended-algebra expression tree into a
 // cursor plan.
 type xStreamBuilder struct {
-	d     rel.Store
+	d     rel.ReadStore
 	meter *ra.Meter
 }
 

@@ -189,10 +189,10 @@ func TestEvalResultOwnership(t *testing.T) {
 	}
 	evaluators := []struct {
 		name string
-		run  func(Expr, rel.Store) *rel.Relation
+		run  func(Expr, rel.ReadStore) *rel.Relation
 	}{
 		{"Eval", Eval},
-		{"EvalTraced", func(e Expr, d rel.Store) *rel.Relation {
+		{"EvalTraced", func(e Expr, d rel.ReadStore) *rel.Relation {
 			res, _ := EvalTraced(e, d)
 			return res
 		}},

@@ -162,8 +162,8 @@ func (tr *Trace) record(e Expr, size int) {
 	tr.TotalTuples += size
 }
 
-// Eval evaluates the expression on a store (any rel.Store backend).
-func Eval(e Expr, d rel.Store) *rel.Relation {
+// Eval evaluates the expression on a store (any rel.ReadStore backend).
+func Eval(e Expr, d rel.ReadStore) *rel.Relation {
 	r, _ := EvalTraced(e, d)
 	return r
 }
@@ -177,7 +177,7 @@ func Eval(e Expr, d rel.Store) *rel.Relation {
 // The returned relation is always owned by the caller: every operator
 // node returns a fresh relation, and a root *Wrap delegates to
 // ra.EvalTraced, which clones bare-relation results.
-func EvalTraced(e Expr, d rel.Store) (*rel.Relation, *Trace) {
+func EvalTraced(e Expr, d rel.ReadStore) (*rel.Relation, *Trace) {
 	if err := Validate(e); err != nil {
 		panic("xra: invalid expression: " + err.Error())
 	}
@@ -186,7 +186,7 @@ func EvalTraced(e Expr, d rel.Store) (*rel.Relation, *Trace) {
 	return res, tr
 }
 
-func eval(e Expr, d rel.Store, tr *Trace) *rel.Relation {
+func eval(e Expr, d rel.ReadStore, tr *Trace) *rel.Relation {
 	var out *rel.Relation
 	switch n := e.(type) {
 	case *Wrap:

@@ -4,11 +4,15 @@
 #
 #   1. go vet            — the stock toolchain checks
 #   2. radivvet          — the engine's contract analyzers
-#                          (caller-owned results, exchange-worker
+#                          (caller-owned results, snapshot/exchange
 #                          quiescence, pooled-batch release,
 #                          panic prefixes); see internal/analysis
-#   3. gofmt             — formatting must be clean, testdata included
-#   4. golangci-lint     — curated correctness linters (.golangci.yml)
+#   3. fixtures          — the analyzers' own must-flag/must-not-flag
+#                          fixture suites (testdata is invisible to
+#                          go list patterns, so radivvet alone never
+#                          exercises them)
+#   4. gofmt             — formatting must be clean, testdata included
+#   5. golangci-lint     — curated correctness linters (.golangci.yml)
 #
 # golangci-lint is optional locally (the sandbox image does not ship
 # it) but mandatory in CI: export LINT_REQUIRE_GOLANGCI=1 to make a
@@ -21,6 +25,9 @@ go vet ./...
 
 echo "== radivvet =="
 go run ./cmd/radivvet ./...
+
+echo "== analyzer fixtures =="
+go test -count=1 ./internal/analysis/...
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
