@@ -15,6 +15,7 @@ import (
 	"radiv/internal/division"
 	"radiv/internal/gf"
 	"radiv/internal/paperfigs"
+	"radiv/internal/plan"
 	"radiv/internal/ra"
 	"radiv/internal/rel"
 	"radiv/internal/sa"
@@ -595,6 +596,52 @@ func BenchmarkStreamedSemijoinAlgebra(b *testing.B) {
 			_, tr = sa.EvalStreamedTraced(e, d)
 		}
 		b.ReportMetric(float64(tr.MaxResident), "max-resident")
+	})
+}
+
+// BenchmarkPlannerDivision (exp ST5) prices the planner on the P26
+// division family: compilation itself (rewrite rules included),
+// executing the expression as written, and executing the optimized
+// γ-division plan. The optimized/unoptimized gap is the planner's
+// payoff — the compile arm is its overhead.
+func BenchmarkPlannerDivision(b *testing.B) {
+	r, s := benchDivisionInput(400)
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 2, "S": 1}))
+	for _, t := range r.Tuples() {
+		d.Add("R", t)
+	}
+	for _, t := range s.Tuples() {
+		d.Add("S", t)
+	}
+	e := ra.DivisionExpr("R", "S")
+	b.Run("compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Compile(e, d, plan.Options{Optimize: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	p0, err := plan.Compile(e, d, plan.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p1, err := plan.Compile(e, d, plan.Options{Optimize: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("unoptimized", func(b *testing.B) {
+		var tr *plan.Trace
+		for i := 0; i < b.N; i++ {
+			_, tr = p0.ExecuteTraced()
+		}
+		b.ReportMetric(float64(tr.MaxIntermediate), "max-intermediate")
+	})
+	b.Run("optimized", func(b *testing.B) {
+		var tr *plan.Trace
+		for i := 0; i < b.N; i++ {
+			_, tr = p1.ExecuteTraced()
+		}
+		b.ReportMetric(float64(tr.MaxIntermediate), "max-intermediate")
 	})
 }
 

@@ -11,6 +11,7 @@ import (
 	"radiv/internal/division"
 	"radiv/internal/gf"
 	"radiv/internal/paperfigs"
+	"radiv/internal/plan"
 	"radiv/internal/ra"
 	"radiv/internal/rel"
 	"radiv/internal/sa"
@@ -72,6 +73,7 @@ func experiments() []experiment {
 		{"ST2", "Streamed SA/XRA: linear resident memory; cursor-fed parallel division", runST2},
 		{"ST3", "Sharded stores: shard-local division and set joins, per-shard resident memory, merge cost", runST3},
 		{"ST4", "Vectorized execution: tuple-at-a-time vs columnar batches, throughput and allocs", runST4},
+		{"ST5", "Query planner: automatic linearization — division flow exponent 2 → 1, identical results", runST5},
 	}
 }
 
@@ -519,6 +521,60 @@ func runST4(w io.Writer) {
 		peak, peak*int64(rel.BatchCap), live)
 	fmt.Fprintln(w, "transport buffers recycle through the pool and never enter MaxResident, so the")
 	fmt.Fprintln(w, "ST1–ST3 resident-memory exponents are untouched by vectorization")
+}
+
+// runST5 drives the planner end to end on the P26 scaling family: the
+// classical division expression compiled with and without the rewrite
+// rules. As written, the plan streams the expression and its flow peak
+// grows quadratically with the database (Proposition 26); optimized,
+// the division rule replaces it by the Section 5 γ-expression and the
+// same query runs on the xra engine with linear flow. The experiment
+// fits both growth exponents and checks the two plans emit
+// byte-identical results at every scale — the dichotomy theorem
+// applied automatically, not by hand.
+func runST5(w io.Writer) {
+	e := ra.DivisionExpr("R", "S")
+	t := stats.NewTable("n", "|D|", "flow max as written", "flow max optimized", "engine")
+	var plainPts, optPts []ra.SizePoint
+	var last *plan.Plan
+	for _, n := range []int{100, 200, 400, 800} {
+		r, s := divisionScaling(n)
+		d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 2, "S": 1}))
+		for _, tp := range r.Tuples() {
+			d.Add("R", tp)
+		}
+		for _, tp := range s.Tuples() {
+			d.Add("S", tp)
+		}
+		p0, err := plan.Compile(e, d, plan.Options{})
+		if err != nil {
+			fmt.Fprintf(w, "!! compile: %v\n", err)
+			return
+		}
+		p1, err := plan.Compile(e, d, plan.Options{Optimize: true})
+		if err != nil {
+			fmt.Fprintf(w, "!! optimized compile: %v\n", err)
+			return
+		}
+		res0, t0 := p0.ExecuteTraced()
+		res1, t1 := p1.ExecuteTraced()
+		if !sameEmission(res1.Tuples(), res0.Tuples()) {
+			fmt.Fprintln(w, "!! optimized result diverges from the expression as written")
+			return
+		}
+		t.AddRow(n, d.Size(), t0.MaxIntermediate, t1.MaxIntermediate, string(p1.Engine()))
+		plainPts = append(plainPts, ra.SizePoint{DatabaseSize: d.Size(), MaxIntermediate: t0.MaxIntermediate})
+		optPts = append(optPts, ra.SizePoint{DatabaseSize: d.Size(), MaxIntermediate: t1.MaxIntermediate})
+		last = p1
+	}
+	fmt.Fprint(w, t)
+	for _, f := range last.Firings() {
+		fmt.Fprintf(w, "\nrule fired: %s: %s", f.Rule, f.Note)
+	}
+	fmt.Fprintf(w, "\nflow growth exponents: as written %.2f, optimized %.2f\n",
+		ra.GrowthExponent(plainPts), ra.GrowthExponent(optPts))
+	fmt.Fprintln(w, "results byte-identical at every scale; the planner turns the quadratic")
+	fmt.Fprintln(w, "expression into the linear γ-division automatically")
 }
 
 func runSJ1(w io.Writer) {

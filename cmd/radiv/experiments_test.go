@@ -31,7 +31,7 @@ func TestExperimentIDsUnique(t *testing.T) {
 			t.Errorf("experiment %s has no title", e.ID)
 		}
 	}
-	for _, id := range []string{"F1", "F2", "F3", "F4", "F5", "F6", "E3", "T8", "T17", "P26", "SJ1", "SJ2", "G5", "ST1", "ST2", "ST3"} {
+	for _, id := range []string{"F1", "F2", "F3", "F4", "F5", "F6", "E3", "T8", "T17", "P26", "SJ1", "SJ2", "G5", "ST1", "ST2", "ST3", "ST4", "ST5"} {
 		if !seen[id] {
 			t.Errorf("experiment %s missing from registry", id)
 		}
@@ -76,6 +76,39 @@ func TestExperimentOutputsCarryTheClaims(t *testing.T) {
 	}
 	if out := get("ST3"); !strings.Contains(out, "byte for byte") || strings.Contains(out, "diverges") {
 		t.Errorf("ST3 lost the sharded byte-identity claim:\n%s", out)
+	}
+	if out := get("ST5"); !strings.Contains(out, "rule fired: division") || !strings.Contains(out, "xra") ||
+		strings.Contains(out, "diverges") {
+		t.Errorf("ST5 lost the planner claim:\n%s", out)
+	}
+}
+
+// TestST5FlowExponents parses the fitted flow exponents out of the ST5
+// report and pins the planner's headline: the division family runs
+// quadratic as written and linear once optimized, with identical
+// results (any divergence replaces the exponent line).
+func TestST5FlowExponents(t *testing.T) {
+	var buf bytes.Buffer
+	for _, e := range experiments() {
+		if e.ID == "ST5" {
+			e.Run(&buf)
+		}
+	}
+	out := buf.String()
+	idx := strings.Index(out, "flow growth exponents:")
+	if idx < 0 {
+		t.Fatalf("ST5 output lacks the exponent line (divergence?):\n%s", out)
+	}
+	var plain, opt float64
+	if _, err := fmt.Sscanf(out[idx:],
+		"flow growth exponents: as written %f, optimized %f", &plain, &opt); err != nil {
+		t.Fatalf("cannot parse exponents from ST5 output: %v\n%s", err, out)
+	}
+	if plain < 1.7 || plain > 2.3 {
+		t.Errorf("as-written flow exponent %.2f, want ≈ 2.0", plain)
+	}
+	if opt < 0.7 || opt > 1.3 {
+		t.Errorf("optimized flow exponent %.2f, want ≈ 1.0", opt)
 	}
 }
 

@@ -7,6 +7,8 @@
 //	raquery -db data.txt -sa  'semijoin[2=1](Visits, Serves)'
 //	raquery -db data.txt -gf  'exists y (Visits(x, y) & x = y)' -vars x
 //	raquery -db data.txt -ra '...' -trace        # print intermediate sizes
+//	raquery -db data.txt -ra '...' -optimize     # run the rewrite planner
+//	raquery -db data.txt -ra '...' -explain      # print plan + cost estimates
 //
 // The database format is line oriented: "@R 2" declares relation R of
 // arity 2 and "R 1,2" adds the tuple (1,2); see internal/rel.ReadText.
@@ -21,6 +23,7 @@ import (
 
 	"radiv/internal/gf"
 	"radiv/internal/parser"
+	"radiv/internal/plan"
 	"radiv/internal/ra"
 	"radiv/internal/rel"
 	"radiv/internal/sa"
@@ -44,6 +47,8 @@ func run(args []string, out io.Writer) error {
 	vars := fs.String("vars", "", "comma-separated output variables for -gf")
 	consts := fs.String("consts", "", "comma-separated extra constants for -gf answers")
 	trace := fs.Bool("trace", false, "print intermediate result sizes")
+	optimize := fs.Bool("optimize", false, "run the rewrite planner over the -ra expression")
+	explain := fs.Bool("explain", false, "print the compiled -ra plan with cost estimates")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,11 +66,35 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if (*optimize || *explain) && *raSrc == "" {
+		return fmt.Errorf("-optimize and -explain apply to -ra queries only")
+	}
+
 	switch {
 	case *raSrc != "":
 		e, err := parser.ParseRA(*raSrc, d.Schema())
 		if err != nil {
 			return err
+		}
+		if *optimize || *explain {
+			// The planner path: compile (optionally rewriting), explain,
+			// and execute through whichever engine the plan bound.
+			p, err := plan.Compile(e, d, plan.Options{Optimize: *optimize})
+			if err != nil {
+				return err
+			}
+			if *explain {
+				fmt.Fprint(out, p.Explain())
+			}
+			res, tr := p.ExecuteTraced()
+			if *trace {
+				for _, s := range tr.Steps {
+					fmt.Fprintf(out, "%8d  %s\n", s.Size, s.Label)
+				}
+				fmt.Fprintf(out, "max intermediate: %d\n", tr.MaxIntermediate)
+			}
+			fmt.Fprint(out, res)
+			return nil
 		}
 		res, tr := ra.EvalTraced(e, d)
 		if *trace {

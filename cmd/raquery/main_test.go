@@ -31,6 +31,37 @@ func TestRunRA(t *testing.T) {
 	}
 }
 
+func TestRunOptimize(t *testing.T) {
+	db := writeDB(t)
+	division := "diff(project[1](R), project[1](diff(join[true](project[1](R), S), R)))"
+	var plain, opt bytes.Buffer
+	if err := run([]string{"-db", db, "-ra", division}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-db", db, "-ra", division, "-optimize", "-explain"}, &opt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"engine: xra", "division", "est rows"} {
+		if !strings.Contains(opt.String(), want) {
+			t.Errorf("optimized output missing %q:\n%s", want, opt.String())
+		}
+	}
+	if !strings.HasSuffix(opt.String(), plain.String()) {
+		t.Errorf("optimized result differs from plain:\nplain: %q\nopt:   %q", plain.String(), opt.String())
+	}
+}
+
+func TestRunExplainUnoptimized(t *testing.T) {
+	db := writeDB(t)
+	var out bytes.Buffer
+	if err := run([]string{"-db", db, "-ra", "project[1](R)", "-explain"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rules: off") {
+		t.Errorf("explain without -optimize should say rules are off:\n%s", out.String())
+	}
+}
+
 func TestRunSA(t *testing.T) {
 	db := writeDB(t)
 	var out bytes.Buffer
@@ -62,6 +93,7 @@ func TestRunErrors(t *testing.T) {
 		{"-db", db, "-ra", "join[9=9](R,S)"}, // bad expression
 		{"-db", db, "-gf", "R(x"},            // bad formula
 		{"-db", db, "-gf", "Nope(x)"},        // unknown relation
+		{"-db", db, "-sa", "semijoin[2=1](R, S)", "-optimize"}, // planner is -ra only
 	}
 	for _, args := range cases {
 		var out bytes.Buffer

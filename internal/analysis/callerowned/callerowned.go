@@ -31,12 +31,15 @@
 // return). Returning a tainted variable or a source call's result
 // directly is flagged.
 //
-// Scope: exported functions without receivers, outside package rel
-// itself — the storage layer hands out views by documented contract
-// (Store.View, Materialized's aliased flag); the ownership contract
-// binds the layers above it. Function literals are not analyzed (and
-// taint neither enters nor escapes them): interior cursors and sinks
-// hold read-only views by design.
+// Scope: exported package-level functions AND exported methods,
+// outside package rel itself — the storage layer hands out views by
+// documented contract (Store.View, Materialized's aliased flag); the
+// ownership contract binds the layers above it, entry-point methods
+// (plan.Plan.Execute, shard accessors) included. The shard layer's
+// documented view accessors (ShardRel) carry //radivvet:ignore
+// directives instead, mirroring package rel's exemption. Function
+// literals are not analyzed (and taint neither enters nor escapes
+// them): interior cursors and sinks hold read-only views by design.
 package callerowned
 
 import (
@@ -62,7 +65,7 @@ func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Recv != nil || fd.Body == nil || !fd.Name.IsExported() {
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
 				continue
 			}
 			checkFunc(pass, fd)

@@ -8,5 +8,5 @@ import (
 )
 
 func TestAnalyzer(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), callerowned.Analyzer, "a")
+	analysistest.Run(t, analysistest.TestData(), callerowned.Analyzer, "a", "b")
 }

@@ -28,76 +28,132 @@ import (
 // An error is returned when the constant closure (constants plus
 // finite inter-constant intervals) exceeds closureLimit values.
 func Linearize(e ra.Expr) (sa.Expr, error) {
-	return linearize(e)
+	return linearizeWith(e, false)
+}
+
+// LinearizeExact translates an RA expression into an SA= expression
+// that is equivalent on *every* database — the planner's correctness
+// requirement, stronger than Linearize's "equivalent whenever e is not
+// quadratic". It only handles the structurally linear fragment
+// (StructurallyLinear): every join must have one operand whose columns
+// are all equality-constrained (Definition 20's unc_ℓ(E) = ∅ for some
+// side ℓ). For such a join any partner tuple on that side is fully
+// determined by the other side's tuple through θ=, so the single-sided
+// Z with the empty reconstruction mapping reproduces the join exactly:
+// the semijoin keeps a tuple iff its (unique) reconstruction exists,
+// ψ re-verifies every θ atom on the reconstruction, and p̄ re-emits it
+// — no closure enumeration, no reconstruction guessing, no soundness
+// caveat. Residual non-equality atoms are fine (ψ checks them).
+//
+// When both sides of some join have unconstrained columns an error is
+// returned naming the join; the planner then leaves that subplan in RA.
+func LinearizeExact(e ra.Expr) (sa.Expr, error) {
+	return linearizeWith(e, true)
+}
+
+// StructurallyLinear reports whether LinearizeExact can translate e:
+// every join has at least one side with no unconstrained columns. The
+// right side is checked first because LinearizeExact prefers
+// reconstructing it — the left operand then streams as the semijoin's
+// probe side.
+func StructurallyLinear(e ra.Expr) bool {
+	ok := true
+	ra.Walk(e, func(x ra.Expr) {
+		if j, isJoin := x.(*ra.Join); isJoin {
+			if len(Unconstrained(j, Right)) > 0 && len(Unconstrained(j, Left)) > 0 {
+				ok = false
+			}
+		}
+	})
+	return ok
 }
 
 // closureLimit bounds the enumeration of finite constant intervals in
 // the Z1 ∪ Z2 construction.
 const closureLimit = 256
 
-func linearize(e ra.Expr) (sa.Expr, error) {
+func linearizeWith(e ra.Expr, exact bool) (sa.Expr, error) {
+	return linearizeExpr(e, exact)
+}
+
+func linearizeExpr(e ra.Expr, exact bool) (sa.Expr, error) {
 	switch n := e.(type) {
 	case *ra.Rel:
 		return sa.R(n.Name, n.Arity()), nil
 	case *ra.Union:
-		l, err := linearize(n.L)
+		l, err := linearizeExpr(n.L, exact)
 		if err != nil {
 			return nil, err
 		}
-		r, err := linearize(n.E)
+		r, err := linearizeExpr(n.E, exact)
 		if err != nil {
 			return nil, err
 		}
 		return sa.NewUnion(l, r), nil
 	case *ra.Diff:
-		l, err := linearize(n.L)
+		l, err := linearizeExpr(n.L, exact)
 		if err != nil {
 			return nil, err
 		}
-		r, err := linearize(n.E)
+		r, err := linearizeExpr(n.E, exact)
 		if err != nil {
 			return nil, err
 		}
 		return sa.NewDiff(l, r), nil
 	case *ra.Project:
-		in, err := linearize(n.E)
+		in, err := linearizeExpr(n.E, exact)
 		if err != nil {
 			return nil, err
 		}
 		return sa.NewProject(n.Cols, in), nil
 	case *ra.Select:
-		in, err := linearize(n.E)
+		in, err := linearizeExpr(n.E, exact)
 		if err != nil {
 			return nil, err
 		}
 		return sa.NewSelect(n.I, n.Op, n.J, in), nil
 	case *ra.SelectConst:
-		in, err := linearize(n.E)
+		in, err := linearizeExpr(n.E, exact)
 		if err != nil {
 			return nil, err
 		}
 		return sa.NewSelectConst(n.I, n.C, in), nil
 	case *ra.ConstTag:
-		in, err := linearize(n.E)
+		in, err := linearizeExpr(n.E, exact)
 		if err != nil {
 			return nil, err
 		}
 		return sa.NewConstTag(n.C, in), nil
 	case *ra.Join:
-		return linearizeJoin(n)
+		return linearizeJoin(n, exact)
 	}
 	return nil, fmt.Errorf("core: unknown expression %T", e)
 }
 
-// linearizeJoin builds Z1 ∪ Z2 for E = E1 ⋈θ E2.
-func linearizeJoin(j *ra.Join) (sa.Expr, error) {
-	e1, err := linearize(j.L)
+// linearizeJoin builds Z1 ∪ Z2 for E = E1 ⋈θ E2 — or, in exact mode,
+// the single-sided Z of a fully constrained operand, which reproduces
+// the join exactly (see LinearizeExact).
+func linearizeJoin(j *ra.Join, exact bool) (sa.Expr, error) {
+	e1, err := linearizeExpr(j.L, exact)
 	if err != nil {
 		return nil, err
 	}
-	e2, err := linearize(j.E)
+	e2, err := linearizeExpr(j.E, exact)
 	if err != nil {
 		return nil, err
+	}
+	if exact {
+		// Reconstructing a fully constrained side needs no constant
+		// closure (the empty mapping is the only one) and is exact; the
+		// right side is preferred so the left operand streams as the
+		// semijoin's probe input.
+		switch {
+		case len(Unconstrained(j, Right)) == 0:
+			return buildZ(j, e1, e2, nil, Right), nil
+		case len(Unconstrained(j, Left)) == 0:
+			return buildZ(j, e1, e2, nil, Left), nil
+		}
+		return nil, fmt.Errorf("core: join %s is not structurally linear: unconstrained columns on both sides", j)
 	}
 	closure, err := ConstantClosure(ra.Constants(j), closureLimit)
 	if err != nil {

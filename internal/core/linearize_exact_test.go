@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"radiv/internal/ra"
+	"radiv/internal/sa"
+)
+
+// TestStructurallyLinearDichotomy pins the planner-facing structural
+// test against both corpora: every join in the linear corpus has a
+// fully equality-constrained side, no join in the quadratic corpus
+// does.
+func TestStructurallyLinearDichotomy(t *testing.T) {
+	for i, e := range linearCorpus() {
+		if !StructurallyLinear(e) {
+			t.Errorf("linear expr %d (%s): StructurallyLinear = false", i, e)
+		}
+	}
+	for i, e := range quadraticCorpus() {
+		if StructurallyLinear(e) {
+			t.Errorf("quadratic expr %d (%s): StructurallyLinear = true", i, e)
+		}
+	}
+}
+
+// TestLinearizeExactEquivalence differentially verifies the exact
+// variant the planner relies on: on structurally linear expressions
+// the translation must reproduce the RA semantics on every seed
+// database — no value-closure approximation involved, so unlike
+// Linearize there is no enumeration limit to hit.
+func TestLinearizeExactEquivalence(t *testing.T) {
+	for i, e := range linearCorpus() {
+		lin, err := LinearizeExact(e)
+		if err != nil {
+			t.Fatalf("expr %d (%s): %v", i, e, err)
+		}
+		for si, d := range DefaultSeeds(e, 25) {
+			want := ra.Eval(e, d)
+			got := sa.Eval(lin, d)
+			if !want.Equal(got) {
+				t.Fatalf("expr %d (%s), seed %d: RA ≠ exact SA\nRA: %vSA: %vDB:\n%s",
+					i, e, si, want, got, d)
+			}
+		}
+	}
+}
+
+// TestLinearizeExactRefusesQuadratic pins the refusal path: on every
+// quadratic-corpus expression the exact variant reports the join that
+// is not structurally linear instead of falling back to the closure
+// approximation.
+func TestLinearizeExactRefusesQuadratic(t *testing.T) {
+	for i, e := range quadraticCorpus() {
+		if lin, err := LinearizeExact(e); err == nil {
+			t.Errorf("quadratic expr %d (%s): LinearizeExact accepted it as %s", i, e, lin)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package cost holds the planner's shared cardinality arithmetic:
+// textbook selectivity guesses over an Estimate of (rows, distinct)
+// per subplan. The primitives were extracted from internal/ra's
+// projection-dedup decision (PR 3) so that every planner rule — the
+// dedup filter, linearization, join commutation, semijoin reduction —
+// prices plans with the same estimates instead of each hard-wiring its
+// own.
+//
+// The estimates are deliberately coarse — base-relation cardinalities
+// are exact, everything above them uses standard selectivity guesses
+// (1/2 per comparison selection, 1/4 per constant selection, k/a
+// information shares for projections and join keys) — because every
+// decision they feed only needs the right order of magnitude: the
+// regimes are far apart whenever the choice matters.
+package cost
+
+import "math"
+
+// Estimate guesses the tuples a streamed subplan emits (Rows,
+// duplicates included — projections defer dedup) and how many of them
+// are distinct.
+type Estimate struct{ Rows, Distinct float64 }
+
+// Base is the estimate of a stored relation: exact and duplicate-free.
+func Base(n float64) Estimate { return Estimate{Rows: n, Distinct: n} }
+
+// Select halves both counts per comparison selection σ_{i op j}.
+func Select(in Estimate) Estimate {
+	return Estimate{Rows: in.Rows / 2, Distinct: in.Distinct / 2}
+}
+
+// SelectConst quarters both counts per constant selection σ_{i=c}.
+func SelectConst(in Estimate) Estimate {
+	return Estimate{Rows: in.Rows / 4, Distinct: in.Distinct / 4}
+}
+
+// Union estimates a deduplicating union sink: the distinct counts add
+// and the sink emits each at most once.
+func Union(l, r Estimate) Estimate {
+	d := l.Distinct + r.Distinct
+	return Estimate{Rows: d, Distinct: d}
+}
+
+// Diff estimates a difference: the filter passes the left flow
+// through.
+func Diff(l Estimate) Estimate { return l }
+
+// ConstTag passes the input estimate through: τ_c changes arity, not
+// cardinality.
+func ConstTag(in Estimate) Estimate { return in }
+
+// ProjectDistinct estimates the distinct output of a projection: with
+// k of the child's a columns kept, each distinct child tuple keeps a
+// k/a share of its identifying information, so the distinct count
+// shrinks from D to D^(k/a) — exact at the endpoints (all columns: D;
+// zero columns: 1) and an independence guess in between.
+func ProjectDistinct(child Estimate, cols []int, arity int) float64 {
+	if arity <= 0 {
+		return 1
+	}
+	seen := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		seen[c] = true
+	}
+	k := len(seen)
+	if k >= arity {
+		return child.Distinct
+	}
+	return math.Pow(child.Distinct, float64(k)/float64(arity))
+}
+
+// Project estimates a dedup-deferring projection: the row flow passes
+// through, the distinct count shrinks per ProjectDistinct.
+func Project(child Estimate, cols []int, arity int) Estimate {
+	return Estimate{Rows: child.Rows, Distinct: ProjectDistinct(child, cols, arity)}
+}
+
+// KeyDistinct estimates the distinct join keys of a side keyed on m of
+// its a columns: distinct^(m/a), the same independence share
+// ProjectDistinct uses, floored at one key.
+func KeyDistinct(side Estimate, m, arity int) float64 {
+	if m <= 0 || arity <= 0 {
+		return 1
+	}
+	frac := float64(m) / float64(arity)
+	if frac > 1 {
+		frac = 1
+	}
+	keys := math.Pow(side.Distinct, frac)
+	if keys < 1 {
+		keys = 1
+	}
+	return keys
+}
+
+// JoinBucket estimates how many build-side candidates one probe tuple
+// scans: the whole build side for a loop join (no equality atoms), a
+// hash bucket — build rows over estimated distinct join keys — for an
+// equi-join with m equality atoms.
+func JoinBucket(build Estimate, m, buildArity int) float64 {
+	if m == 0 || buildArity <= 0 {
+		return build.Rows
+	}
+	return build.Rows / KeyDistinct(build, m, buildArity)
+}
+
+// Join estimates a θ-join from the probe-side estimate and the
+// per-probe bucket size: every bucket candidate is assumed to pass the
+// residual atoms, and joined pairs of distinct inputs are distinct.
+func Join(probe Estimate, bucket float64) Estimate {
+	rows := probe.Rows * bucket
+	return Estimate{Rows: rows, Distinct: rows}
+}
+
+// SemijoinSelectivity estimates the fraction of probe tuples that find
+// an equality partner, under the containment assumption: the smaller
+// key set is contained in the larger, so the hit fraction is the key
+// count ratio capped at one.
+func SemijoinSelectivity(probeKeys, buildKeys float64) float64 {
+	if probeKeys <= 0 {
+		return 1
+	}
+	sel := buildKeys / probeKeys
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// Semijoin estimates l ⋉θ r from the probe estimate and the partner
+// selectivity.
+func Semijoin(probe Estimate, sel float64) Estimate {
+	return Estimate{Rows: probe.Rows * sel, Distinct: probe.Distinct * sel}
+}
+
+// Antijoin estimates l ▷θ r as the complement of the semijoin.
+func Antijoin(probe Estimate, sel float64) Estimate {
+	keep := 1 - sel
+	if keep < 0 {
+		keep = 0
+	}
+	return Estimate{Rows: probe.Rows * keep, Distinct: probe.Distinct * keep}
+}
+
+// Gamma estimates γ_{groupCols, count}: one output row per distinct
+// group key, floored at one row (a grand aggregate always emits).
+func Gamma(child Estimate, groupCols []int, arity int) Estimate {
+	rows := ProjectDistinct(child, groupCols, arity)
+	if rows < 1 {
+		rows = 1
+	}
+	return Estimate{Rows: rows, Distinct: rows}
+}

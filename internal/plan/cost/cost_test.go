@@ -1,0 +1,93 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+// TestPrimitives pins the arithmetic each planner rule prices with, so
+// a change to one primitive shows up here before it silently reshapes
+// every rewrite decision.
+func TestPrimitives(t *testing.T) {
+	b := Base(100)
+	approx(t, "Base.Rows", b.Rows, 100)
+	approx(t, "Base.Distinct", b.Distinct, 100)
+
+	approx(t, "Select.Rows", Select(b).Rows, 50)
+	approx(t, "SelectConst.Rows", SelectConst(b).Rows, 25)
+
+	u := Union(Estimate{Rows: 80, Distinct: 40}, Estimate{Rows: 20, Distinct: 10})
+	approx(t, "Union.Rows", u.Rows, 50)
+	approx(t, "Union.Distinct", u.Distinct, 50)
+
+	d := Diff(Estimate{Rows: 7, Distinct: 3})
+	approx(t, "Diff.Rows", d.Rows, 7)
+	approx(t, "Diff.Distinct", d.Distinct, 3)
+
+	approx(t, "ConstTag.Rows", ConstTag(b).Rows, 100)
+}
+
+// TestProjectDistinct pins the k/a information-share guess and its
+// exact endpoints, including duplicate column lists.
+func TestProjectDistinct(t *testing.T) {
+	child := Estimate{Rows: 400, Distinct: 100}
+	approx(t, "half the columns", ProjectDistinct(child, []int{1}, 2), 10)
+	approx(t, "all columns", ProjectDistinct(child, []int{1, 2}, 2), 100)
+	approx(t, "duplicated column counts once", ProjectDistinct(child, []int{1, 1}, 2), 10)
+	approx(t, "zero columns", ProjectDistinct(child, nil, 2), 1)
+	approx(t, "zero arity", ProjectDistinct(child, nil, 0), 1)
+
+	p := Project(child, []int{1}, 2)
+	approx(t, "Project passes rows through", p.Rows, 400)
+	approx(t, "Project shrinks distinct", p.Distinct, 10)
+}
+
+// TestJoinArithmetic pins key counts, bucket sizes, and the join
+// estimate built from them.
+func TestJoinArithmetic(t *testing.T) {
+	side := Estimate{Rows: 100, Distinct: 100}
+	approx(t, "one of two key columns", KeyDistinct(side, 1, 2), 10)
+	approx(t, "all key columns", KeyDistinct(side, 2, 2), 100)
+	approx(t, "no key columns", KeyDistinct(side, 0, 2), 1)
+	approx(t, "floor at one key", KeyDistinct(Estimate{Distinct: 0.25}, 1, 2), 1)
+	approx(t, "m beyond arity clamps", KeyDistinct(side, 5, 2), 100)
+
+	approx(t, "loop join scans everything", JoinBucket(side, 0, 2), 100)
+	approx(t, "hash bucket", JoinBucket(side, 1, 2), 10)
+
+	j := Join(Estimate{Rows: 8, Distinct: 8}, 10)
+	approx(t, "Join.Rows", j.Rows, 80)
+	approx(t, "Join.Distinct", j.Distinct, 80)
+}
+
+// TestSemijoinArithmetic pins the containment selectivity and the
+// semijoin/antijoin complements built on it.
+func TestSemijoinArithmetic(t *testing.T) {
+	approx(t, "containment ratio", SemijoinSelectivity(100, 25), 0.25)
+	approx(t, "capped at one", SemijoinSelectivity(10, 40), 1)
+	approx(t, "degenerate probe", SemijoinSelectivity(0, 40), 1)
+
+	probe := Estimate{Rows: 200, Distinct: 80}
+	sj := Semijoin(probe, 0.25)
+	approx(t, "Semijoin.Rows", sj.Rows, 50)
+	approx(t, "Semijoin.Distinct", sj.Distinct, 20)
+	aj := Antijoin(probe, 0.25)
+	approx(t, "Antijoin.Rows", aj.Rows, 150)
+	approx(t, "Antijoin complements to probe", sj.Rows+aj.Rows, probe.Rows)
+	approx(t, "Antijoin floors at zero", Antijoin(probe, 1.5).Rows, 0)
+}
+
+// TestGamma pins the group-count estimate and its grand-aggregate
+// floor.
+func TestGamma(t *testing.T) {
+	child := Estimate{Rows: 400, Distinct: 100}
+	approx(t, "grouped", Gamma(child, []int{1}, 2).Rows, 10)
+	approx(t, "grand aggregate floors at one", Gamma(Estimate{}, nil, 2).Rows, 1)
+}

@@ -1,0 +1,120 @@
+package plan_test
+
+import (
+	"fmt"
+	"testing"
+
+	"radiv/internal/plan"
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+	"radiv/internal/shard"
+	"radiv/internal/workload"
+)
+
+// This file is the planner-equivalence suite: for every expression in
+// the operator corpus and for randomized division and set-join
+// workloads, the optimized plan must produce byte-identical results —
+// emission order included — to the unoptimized plan, across every
+// execution surface the plan layer dispatches to: the streamed
+// engines, the vectorized RA path, the traced path, and the sharded
+// store at shard counts 1/2/4 with worker counts 1/2/4. Run under
+// -race this doubles as the planner's parallel-safety check.
+
+// sameEmission compares two results tuple-by-tuple in emission order.
+func sameEmission(a, b *rel.Relation) error {
+	if a.Arity() != b.Arity() {
+		return fmt.Errorf("arity %d vs %d", a.Arity(), b.Arity())
+	}
+	at, bt := a.Tuples(), b.Tuples()
+	if len(at) != len(bt) {
+		return fmt.Errorf("%d tuples vs %d", len(at), len(bt))
+	}
+	for i := range at {
+		if !at[i].Equal(bt[i]) {
+			return fmt.Errorf("tuple %d: %s vs %s", i, at[i], bt[i])
+		}
+	}
+	return nil
+}
+
+// checkEquivalence runs one expression over one store through every
+// optimized execution surface and compares against the unoptimized
+// baseline.
+func checkEquivalence(t *testing.T, e ra.Expr, d *rel.Database) {
+	t.Helper()
+	base, err := plan.Compile(e, d, plan.Options{})
+	if err != nil {
+		t.Fatalf("%s: baseline compile: %v", e, err)
+	}
+	want := base.Execute()
+
+	opt, err := plan.Compile(e, d, plan.Options{Optimize: true})
+	if err != nil {
+		t.Fatalf("%s: optimized compile: %v", e, err)
+	}
+	if err := sameEmission(want, opt.Execute()); err != nil {
+		t.Errorf("%s: optimized (engine %s): %v", e, opt.Engine(), err)
+	}
+	traced, _ := opt.ExecuteTraced()
+	if err := sameEmission(want, traced); err != nil {
+		t.Errorf("%s: optimized traced (engine %s): %v", e, opt.Engine(), err)
+	}
+
+	// The vectorized arm only changes pure-RA execution, but Options
+	// accepts it for any plan, so exercise it everywhere.
+	vec, err := plan.Compile(e, d, plan.Options{Optimize: true, Vectorize: true, BatchSize: 64})
+	if err != nil {
+		t.Fatalf("%s: vectorized compile: %v", e, err)
+	}
+	if err := sameEmission(want, vec.Execute()); err != nil {
+		t.Errorf("%s: optimized vectorized: %v", e, err)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		s := shard.FromStore(d, shards)
+		for _, workers := range []int{1, 2, 4} {
+			sp, err := plan.Compile(e, s, plan.Options{Optimize: true, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s: sharded compile: %v", e, err)
+			}
+			if err := sameEmission(want, sp.Execute()); err != nil {
+				t.Errorf("%s: shards=%d workers=%d: %v", e, shards, workers, err)
+			}
+		}
+	}
+}
+
+// TestPlannerEquivalenceCorpus sweeps the full operator corpus over
+// randomized set-join databases.
+func TestPlannerEquivalenceCorpus(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		d := setJoinDatabase(seed)
+		for _, e := range testCorpus() {
+			checkEquivalence(t, e, d)
+		}
+	}
+}
+
+// TestPlannerEquivalenceDivision sweeps the division expressions —
+// the rewrites that change engines and enable the shard fast path —
+// over randomized division workloads, including degenerate draws
+// (empty S, empty R) where the rewrite guards must decline.
+func TestPlannerEquivalenceDivision(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		d := workload.RandomDivision(seed).Database()
+		checkEquivalence(t, ra.DivisionExpr("R", "S"), d)
+		checkEquivalence(t, ra.EqualityDivisionExpr("R", "S"), d)
+	}
+	empty := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 2, "S": 1}))
+	checkEquivalence(t, ra.DivisionExpr("R", "S"), empty)
+}
+
+// TestPlannerEquivalenceSetJoins sweeps the set-join idioms, whose
+// inner semijoin shapes are where the linearize rule fires.
+func TestPlannerEquivalenceSetJoins(t *testing.T) {
+	for seed := int64(10); seed < 14; seed++ {
+		d := setJoinDatabase(seed)
+		checkEquivalence(t, ra.SetContainmentJoinExpr("R", "S"), d)
+		checkEquivalence(t, ra.SetEqualityJoinExpr("R", "S"), d)
+	}
+}

@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"radiv/internal/plan/cost"
+	"radiv/internal/rel"
+)
+
+// This file prices IR plans with the shared estimate primitives of
+// internal/plan/cost. Every rewrite rule guards on estFlow — the total
+// tuple flow a streamed execution of the plan would emit, the quantity
+// the paper's linear/quadratic dichotomy is about — so a rule only
+// fires when the estimated flow drops (or, for semijoin reduction, the
+// estimated resident state drops by more than the added flow).
+
+// estimate guesses the (rows, distinct) a streamed execution of the
+// subplan emits, using exact base-relation cardinalities from the
+// bound store.
+func estimate(d rel.ReadStore, n *Node) cost.Estimate {
+	switch n.Kind {
+	case KRel:
+		if _, ok := d.Schema().Arity(n.Name); !ok {
+			return cost.Estimate{}
+		}
+		return cost.Base(float64(d.View(n.Name).Len()))
+	case KUnion:
+		return cost.Union(estimate(d, n.Kids[0]), estimate(d, n.Kids[1]))
+	case KDiff:
+		return cost.Diff(estimate(d, n.Kids[0]))
+	case KProject:
+		return cost.Project(estimate(d, n.Kids[0]), n.Cols, n.Kids[0].arity)
+	case KSelect:
+		return cost.Select(estimate(d, n.Kids[0]))
+	case KSelectConst:
+		return cost.SelectConst(estimate(d, n.Kids[0]))
+	case KConstTag:
+		return cost.ConstTag(estimate(d, n.Kids[0]))
+	case KJoin:
+		probe, build := estimate(d, n.Kids[0]), estimate(d, n.Kids[1])
+		m := len(n.Cond.EqPairs())
+		bucket := cost.JoinBucket(build, m, n.Kids[1].arity)
+		// The planner prices equi-joins with the same partner
+		// selectivity semijoins use — matched probe rows times the
+		// per-match bucket — so a join and its semijoin rewrite are
+		// compared consistently; without the selectivity factor the
+		// linearize rule would "win" on any join by estimate artifact.
+		if m > 0 {
+			probeKeys := cost.KeyDistinct(probe, m, n.Kids[0].arity)
+			buildKeys := cost.KeyDistinct(build, m, n.Kids[1].arity)
+			sel := cost.SemijoinSelectivity(probeKeys, buildKeys)
+			probe = cost.Estimate{Rows: probe.Rows * sel, Distinct: probe.Distinct * sel}
+		}
+		return cost.Join(probe, bucket)
+	case KSemijoin:
+		probe := estimate(d, n.Kids[0])
+		return cost.Semijoin(probe, semijoinSel(d, n))
+	case KAntijoin:
+		probe := estimate(d, n.Kids[0])
+		return cost.Antijoin(probe, semijoinSel(d, n))
+	case KGamma:
+		return cost.Gamma(estimate(d, n.Kids[0]), n.Cols, n.Kids[0].arity)
+	}
+	return cost.Estimate{}
+}
+
+// semijoinSel estimates the fraction of probe tuples with a partner:
+// the key-count containment ratio for equality conditions, one half
+// for pure-theta conditions (the standard comparison guess).
+func semijoinSel(d rel.ReadStore, n *Node) float64 {
+	m := len(n.Cond.EqPairs())
+	if m == 0 {
+		return 0.5
+	}
+	probeKeys := cost.KeyDistinct(estimate(d, n.Kids[0]), m, n.Kids[0].arity)
+	buildKeys := cost.KeyDistinct(estimate(d, n.Kids[1]), m, n.Kids[1].arity)
+	return cost.SemijoinSelectivity(probeKeys, buildKeys)
+}
+
+// estFlow is the estimated total tuple flow of the plan: the sum of
+// every node's emitted rows, shared subtrees counted once per
+// occurrence (the executor evaluates them once per occurrence too).
+func estFlow(d rel.ReadStore, n *Node) float64 {
+	total := 0.0
+	Walk(n, func(x *Node) { total += estimate(d, x).Rows })
+	return total
+}

@@ -1,0 +1,379 @@
+package plan
+
+import (
+	"fmt"
+
+	"radiv/internal/division"
+	"radiv/internal/ra"
+	"radiv/internal/rel"
+	"radiv/internal/sa"
+	"radiv/internal/shard"
+	"radiv/internal/xra"
+)
+
+// Options tunes compilation and execution.
+type Options struct {
+	// Optimize runs the rewrite rule pipeline. Off, the plan executes
+	// the expression as written (through the same engine dispatch and
+	// canonical emission, so optimized and unoptimized runs are
+	// byte-comparable).
+	Optimize bool
+	// Vectorize runs pure-RA plans through the vectorized executor
+	// with the given BatchSize (0 = default), as in ra.StreamOptions.
+	Vectorize bool
+	// BatchSize is the vectorized batch capacity (0 = default).
+	BatchSize int
+	// Workers is the worker count for the sharded division fast path
+	// (0 = sequential).
+	Workers int
+}
+
+// Engine names which streaming executor runs the plan.
+type Engine string
+
+const (
+	// EngineRA is the pure-RA streaming/vectorized executor.
+	EngineRA Engine = "ra"
+	// EngineSA is the semijoin-algebra streaming executor.
+	EngineSA Engine = "sa"
+	// EngineXRA is the extended-algebra streaming executor.
+	EngineXRA Engine = "xra"
+	// EngineMixed is the planner's native cursor executor, for plans
+	// mixing operators no single algebra holds.
+	EngineMixed Engine = "mixed"
+)
+
+// Plan is a compiled, store-bound query plan. Compilation binds the
+// store because the rewrite guards price the actual database (and the
+// division rule's exactness guard inspects it); execute a fresh
+// compile after the store changes.
+type Plan struct {
+	d       rel.ReadStore
+	opts    Options
+	source  ra.Expr
+	root    *Node
+	firings []Firing
+	engine  Engine
+
+	raExpr  ra.Expr
+	saExpr  sa.Expr
+	xraExpr xra.Expr
+
+	// divR/divS name the division operands when the optimized plan is
+	// exactly the γ-division of two stored relations — the shape the
+	// sharded division fast path accelerates.
+	divR, divS string
+}
+
+// Trace mirrors the evaluators' traces in engine-neutral form.
+type Trace struct {
+	// Steps lists each executed operator with its emission count, in
+	// post-order.
+	Steps []Step
+	// MaxIntermediate is the maximum emission count over all
+	// operators — the paper's intermediate-result measure, which ST5
+	// watches drop from quadratic to linear under the rewrite.
+	MaxIntermediate int
+	// TotalTuples is the summed emission count.
+	TotalTuples int
+	// MaxResident is the peak tuple count held in operator state (see
+	// ra.Trace.MaxResident).
+	MaxResident int
+}
+
+// Step is one operator's trace record.
+type Step struct {
+	Label string
+	Size  int
+}
+
+func (tr *Trace) record(label string, size int) {
+	tr.Steps = append(tr.Steps, Step{Label: label, Size: size})
+	if size > tr.MaxIntermediate {
+		tr.MaxIntermediate = size
+	}
+	tr.TotalTuples += size
+}
+
+// Compile validates the expression, optionally rewrites it, and binds
+// it to the store and an engine. The returned plan is immutable and
+// reusable (each Execute streams afresh), but bound to d's statistics.
+func Compile(e ra.Expr, d rel.ReadStore, opts Options) (*Plan, error) {
+	if err := ra.Validate(e); err != nil {
+		return nil, fmt.Errorf("plan: invalid expression: %w", err)
+	}
+	p := &Plan{d: d, opts: opts, source: e, root: FromRA(e)}
+	if opts.Optimize {
+		p.root, p.firings = optimize(d, p.root)
+	}
+	if ex, ok := ToRA(p.root); ok {
+		p.engine, p.raExpr = EngineRA, ex
+	} else if ex, ok := ToSA(p.root); ok {
+		p.engine, p.saExpr = EngineSA, ex
+	} else if ex, ok := ToXRA(p.root); ok {
+		p.engine, p.xraExpr = EngineXRA, ex
+	} else {
+		p.engine = EngineMixed
+	}
+	if r, s, ok := matchGammaDivision(p.root); ok {
+		p.divR, p.divS = r, s
+	}
+	return p, nil
+}
+
+// Engine returns the executor the plan is bound to.
+func (p *Plan) Engine() Engine { return p.engine }
+
+// Firings returns the recorded rule applications.
+func (p *Plan) Firings() []Firing { return append([]Firing(nil), p.firings...) }
+
+// Root returns the (rewritten) plan tree.
+func (p *Plan) Root() *Node { return p.root }
+
+// Execute runs the plan and returns a fresh result relation, owned by
+// the caller, built in canonical sorted tuple order — rewrites may
+// legitimately permute an executor's natural emission order, so the
+// plan layer fixes the order once for optimized and unoptimized runs
+// alike. When the bound store is a shard.Source and the optimized plan
+// is exactly a γ-division, the shard-local division path runs instead
+// of the generic executor (same result, shard-parallel).
+func (p *Plan) Execute() *rel.Relation {
+	if p.divR != "" {
+		if src, ok := p.d.(shard.Source); ok {
+			workers := p.opts.Workers
+			if workers < 1 {
+				workers = 1
+			}
+			res, _ := shard.Divide(src, p.divR, p.divS, division.Containment, workers)
+			return canonical(res)
+		}
+	}
+	res, _ := p.run()
+	return canonical(res)
+}
+
+// ExecuteTraced runs the plan through its streaming engine (never the
+// sharded fast path, whose per-shard work has no single-plan trace)
+// and returns the canonical result plus the trace.
+func (p *Plan) ExecuteTraced() (*rel.Relation, *Trace) {
+	res, tr := p.run()
+	return canonical(res), tr
+}
+
+// run dispatches to the bound engine.
+func (p *Plan) run() (*rel.Relation, *Trace) {
+	switch p.engine {
+	case EngineRA:
+		res, t := ra.EvalStreamedTracedOpts(p.raExpr, p.d, ra.StreamOptions{
+			Vectorize: p.opts.Vectorize, BatchSize: p.opts.BatchSize,
+		})
+		tr := &Trace{MaxIntermediate: t.MaxIntermediate, TotalTuples: t.TotalTuples, MaxResident: t.MaxResident}
+		for _, s := range t.Steps {
+			tr.Steps = append(tr.Steps, Step{Label: s.Expr.String(), Size: s.Size})
+		}
+		return res, tr
+	case EngineSA:
+		res, t := sa.EvalStreamedTraced(p.saExpr, p.d)
+		tr := &Trace{MaxIntermediate: t.MaxIntermediate, TotalTuples: t.TotalTuples, MaxResident: t.MaxResident}
+		for _, s := range t.Steps {
+			tr.Steps = append(tr.Steps, Step{Label: s.Expr.String(), Size: s.Size})
+		}
+		return res, tr
+	case EngineXRA:
+		res, t := xra.EvalStreamedTraced(p.xraExpr, p.d)
+		tr := &Trace{MaxIntermediate: t.MaxIntermediate, TotalTuples: t.TotalTuples, MaxResident: t.MaxResident}
+		for _, s := range t.Steps {
+			tr.Steps = append(tr.Steps, Step{Label: s.Expr.String(), Size: s.Size})
+		}
+		return res, tr
+	}
+	return p.runMixed()
+}
+
+// canonical rebuilds a result in sorted tuple order. The copy is
+// cheap relative to evaluation and buys order-stability across
+// engines, rewrites, shard counts and batch sizes.
+func canonical(r *rel.Relation) *rel.Relation {
+	out := rel.NewRelationSized(r.Arity(), r.Len())
+	for _, t := range r.Sorted() {
+		out.Add(t)
+	}
+	return out
+}
+
+// matchGammaDivision recognizes the exact IR of
+// xra.ContainmentDivision over two stored relations.
+func matchGammaDivision(n *Node) (rName, sName string, ok bool) {
+	if n.Kind != KProject || n.Kids[0].Kind != KJoin {
+		return "", "", false
+	}
+	pg := n.Kids[0].Kids[0]
+	if pg.Kind != KGamma || pg.Kids[0].Kind != KJoin {
+		return "", "", false
+	}
+	rn, sn := pg.Kids[0].Kids[0], pg.Kids[0].Kids[1]
+	if rn.Kind != KRel || sn.Kind != KRel {
+		return "", "", false
+	}
+	if !Equal(n, gammaDivision(rn.Name, sn.Name)) {
+		return "", "", false
+	}
+	return rn.Name, sn.Name, true
+}
+
+// --- the native mixed executor ---
+
+// runMixed executes a plan no single algebra expresses, directly on
+// the shared ra.Cursor substrate: RA operators use ra's exported
+// cursors, semijoins/antijoins use sa.NewSemijoinCursor, γ uses
+// xra.NewGammaCursor — all metered into one resident count.
+func (p *Plan) runMixed() (*rel.Relation, *Trace) {
+	m := &ra.Meter{}
+	b := &mixedBuilder{d: p.d, meter: m}
+	cur, root := b.cursor(p.root)
+	out := rel.NewRelation(p.root.arity)
+	for t, ok := cur.Next(); ok; t, ok = cur.Next() {
+		out.Add(t)
+	}
+	tr := &Trace{}
+	root.record(tr)
+	tr.MaxResident = m.Max()
+	return out, tr
+}
+
+// planCountNode mirrors one plan node occurrence, collecting its
+// emission count.
+type planCountNode struct {
+	n    *Node
+	size int
+	kids []*planCountNode
+}
+
+func (c *planCountNode) record(tr *Trace) {
+	for _, k := range c.kids {
+		k.record(tr)
+	}
+	tr.record(c.n.String(), c.size)
+}
+
+type planCountCursor struct {
+	in   ra.Cursor
+	node *planCountNode
+}
+
+func (c *planCountCursor) Next() (rel.Tuple, bool) {
+	t, ok := c.in.Next()
+	if ok {
+		c.node.size++
+	}
+	return t, ok
+}
+
+type mixedBuilder struct {
+	d     rel.ReadStore
+	meter *ra.Meter
+}
+
+func (b *mixedBuilder) baseRel(n *Node) rel.StoredRel {
+	return rel.CheckView(b.d, n.Name, n.arity, "plan")
+}
+
+func (b *mixedBuilder) cursor(n *Node) (ra.Cursor, *planCountNode) {
+	node := &planCountNode{n: n}
+	var cur ra.Cursor
+	switch n.Kind {
+	case KRel:
+		cur = b.baseRel(n).Scan()
+	case KUnion:
+		l, ln := b.cursor(n.Kids[0])
+		r, rn := b.cursor(n.Kids[1])
+		node.kids = []*planCountNode{ln, rn}
+		cur = ra.NewUnionSinkCursor(l, r, n.arity, b.meter)
+	case KDiff:
+		l, ln := b.cursor(n.Kids[0])
+		node.kids = []*planCountNode{ln}
+		if sub := n.Kids[1]; sub.Kind == KRel {
+			cur = ra.NewDiffCursor(l, nil, b.baseRel(sub), n.arity, b.meter)
+			node.kids = append(node.kids, &planCountNode{n: sub})
+		} else {
+			rc, rn := b.cursor(sub)
+			cur = ra.NewDiffCursor(l, rc, nil, n.arity, b.meter)
+			node.kids = append(node.kids, rn)
+		}
+	case KProject:
+		in, kn := b.cursor(n.Kids[0])
+		node.kids = []*planCountNode{kn}
+		cols := n.Cols
+		cur = ra.NewMapCursor(in, func(t rel.Tuple) rel.Tuple { return t.Project(cols) })
+	case KSelect:
+		in, kn := b.cursor(n.Kids[0])
+		node.kids = []*planCountNode{kn}
+		i, op, j := n.I, n.Op, n.J
+		cur = ra.NewFilterCursor(in, func(t rel.Tuple) bool { return op.Eval(t[i-1], t[j-1]) })
+	case KSelectConst:
+		in, kn := b.cursor(n.Kids[0])
+		node.kids = []*planCountNode{kn}
+		i, cv := n.I, n.C
+		cur = ra.NewFilterCursor(in, func(t rel.Tuple) bool { return t[i-1].Equal(cv) })
+	case KConstTag:
+		in, kn := b.cursor(n.Kids[0])
+		node.kids = []*planCountNode{kn}
+		tag := rel.Tuple{n.C}
+		cur = ra.NewMapCursor(in, func(t rel.Tuple) rel.Tuple { return t.Concat(tag) })
+	case KJoin:
+		l, ln := b.cursor(n.Kids[0])
+		node.kids = []*planCountNode{ln}
+		if len(n.Cond.EqPairs()) > 0 {
+			rc, rn := b.cursor(n.Kids[1])
+			node.kids = append(node.kids, rn)
+			cur = ra.NewHashJoinCursor(l, rc, n.Cond, b.meter)
+		} else if sub := n.Kids[1]; sub.Kind == KRel {
+			node.kids = append(node.kids, &planCountNode{n: sub})
+			cur = ra.NewLoopJoinCursor(l, nil, b.baseRel(sub), n.Cond, b.meter)
+		} else {
+			rc, rn := b.cursor(sub)
+			node.kids = append(node.kids, rn)
+			cur = ra.NewLoopJoinCursor(l, rc, nil, n.Cond, b.meter)
+		}
+	case KSemijoin, KAntijoin:
+		keep := n.Kind == KSemijoin
+		l, ln := b.cursor(n.Kids[0])
+		node.kids = []*planCountNode{ln}
+		if sub := n.Kids[1]; len(n.Cond.EqPairs()) == 0 && sub.Kind == KRel {
+			node.kids = append(node.kids, &planCountNode{n: sub})
+			cur = sa.NewSemijoinCursor(l, nil, b.baseRel(sub), n.Cond, keep, b.meter)
+		} else {
+			rc, rn := b.cursor(sub)
+			node.kids = append(node.kids, rn)
+			cur = sa.NewSemijoinCursor(l, rc, nil, n.Cond, keep, b.meter)
+		}
+	case KGamma:
+		in, kn := b.cursor(n.Kids[0])
+		node.kids = []*planCountNode{kn}
+		cur = xra.NewGammaCursor(in, n.Cols, n.CountCol, n.Kids[0].arity, mayEmitDuplicates(n.Kids[0]), b.meter)
+	default:
+		panic(fmt.Sprintf("plan: unknown kind %d", n.Kind))
+	}
+	return &planCountCursor{in: cur, node: node}, node
+}
+
+// mayEmitDuplicates mirrors xra's duplicate analysis over IR nodes:
+// only dedup-deferring projections create duplicates, blocking sinks
+// (union, γ) and stored relations are duplicate-free, filters and
+// semijoins pass their left input's property through, and joins pair
+// distinct inputs into distinct outputs.
+func mayEmitDuplicates(n *Node) bool {
+	switch n.Kind {
+	case KRel, KUnion, KGamma:
+		return false
+	case KDiff, KSemijoin, KAntijoin:
+		return mayEmitDuplicates(n.Kids[0])
+	case KProject:
+		return true
+	case KSelect, KSelectConst, KConstTag:
+		return mayEmitDuplicates(n.Kids[0])
+	case KJoin:
+		return mayEmitDuplicates(n.Kids[0]) || mayEmitDuplicates(n.Kids[1])
+	}
+	return true
+}

@@ -1,0 +1,91 @@
+package plan
+
+import (
+	"fmt"
+
+	"radiv/internal/core"
+	"radiv/internal/rel"
+)
+
+// linearizeRule is the dichotomy theorem as a rewrite: a maximal
+// pure-RA subplan that is structurally linear — every join has one
+// operand whose columns are all equality-constrained — is translated
+// into an equivalent SA= plan by core.LinearizeExact, whose every
+// operator's output is bounded by an input (Definition 2), so the
+// subplan's flow becomes linear by construction.
+//
+// The rule walks top-down and replaces the *largest* subplan it can,
+// which keeps join results from being materialized just to feed an
+// already-linear consumer. It declines when:
+//
+//   - the subplan has no join (the translation would be the identity),
+//   - some join has unconstrained columns on both sides — the fragment
+//     where the paper's Theorem 17 equivalence needs the whole
+//     expression to be non-quadratic, a property of the query, not of
+//     this subplan, so no exact rewrite exists (division lands here),
+//   - the estimated flow does not drop — e.g. a join so selective that
+//     its output is already smaller than the semijoin plan's extra
+//     re-verification flow.
+type linearizeRule struct{}
+
+func (linearizeRule) name() string { return "linearize" }
+
+func (linearizeRule) rewrite(d rel.ReadStore, root *Node) (*Node, []Firing) {
+	var firings []Firing
+	var rec func(n *Node) *Node
+	rec = func(n *Node) *Node {
+		if cand, note, ok := tryLinearize(d, n); ok {
+			firings = append(firings, Firing{Rule: "linearize", Note: note})
+			return cand
+		}
+		return rewriteKids(n, rec)
+	}
+	return rec(root), firings
+}
+
+// tryLinearize attempts the SA= rewrite of one subplan, returning the
+// candidate and the guard's note when it fires.
+func tryLinearize(d rel.ReadStore, n *Node) (*Node, string, bool) {
+	if !hasKind(n, KJoin) || hasKind(n, KSemijoin) || hasKind(n, KAntijoin) || hasKind(n, KGamma) {
+		return nil, "", false
+	}
+	e, ok := ToRA(n)
+	if !ok {
+		return nil, "", false
+	}
+	if !core.StructurallyLinear(e) {
+		return nil, "", false
+	}
+	lin, err := core.LinearizeExact(e)
+	if err != nil {
+		return nil, "", false
+	}
+	cand := FromSA(lin)
+	before, after := estFlow(d, n), estFlow(d, cand)
+	if after >= before {
+		return nil, "", false
+	}
+	note := fmt.Sprintf("%s -> SA= plan, est flow %.0f -> %.0f", summarize(n), before, after)
+	return cand, note, true
+}
+
+// hasKind reports whether the plan contains a node of the kind.
+func hasKind(n *Node, k Kind) bool {
+	found := false
+	Walk(n, func(x *Node) {
+		if x.Kind == k {
+			found = true
+		}
+	})
+	return found
+}
+
+// summarize renders a plan for a firing note, truncated so notes stay
+// one line.
+func summarize(n *Node) string {
+	s := n.String()
+	if len(s) > 64 {
+		s = s[:61] + "..."
+	}
+	return s
+}

@@ -104,7 +104,7 @@ func drainBatches(in BatchCursor, sink *rel.Relation) {
 // estimate, clamped so a wild quadratic guess cannot balloon an empty
 // result's allocation.
 func sinkHint(d rel.ReadStore, e Expr) int {
-	est := estimateSize(d, e).distinct
+	est := estimateSize(d, e).Distinct
 	if math.IsNaN(est) || est <= 0 {
 		return 0
 	}

@@ -4,7 +4,9 @@
 #
 #   1. go vet            — the stock toolchain checks
 #   2. radivvet          — the engine's contract analyzers
-#                          (caller-owned results, snapshot/exchange
+#                          (caller-owned results — exported functions
+#                          AND methods, so the planner's Plan entry
+#                          points are covered — snapshot/exchange
 #                          quiescence, pooled-batch release,
 #                          panic prefixes); see internal/analysis
 #   3. fixtures          — the analyzers' own must-flag/must-not-flag
