@@ -9,6 +9,7 @@ import (
 	"radiv/internal/bisim"
 	"radiv/internal/core"
 	"radiv/internal/division"
+	"radiv/internal/engine"
 	"radiv/internal/gf"
 	"radiv/internal/paperfigs"
 	"radiv/internal/plan"
@@ -54,6 +55,21 @@ var workers int
 // stores into (0 = sweep 1, 2, 4).
 var shards int
 
+// batchSize is the -batch flag: the batch row capacity the vectorized
+// sweeps run at (0 = the default sweep).
+var batchSize int
+
+// batchSizes is the batch-capacity sweep every vectorized experiment
+// shares (ST4 and ST6 use one knob): the -batch flag pins a single
+// size; the default sweeps 1 — pricing the batch machinery with none
+// of its amortization — then 64 and 1024 (rel.BatchCap).
+func batchSizes() []int {
+	if batchSize > 0 {
+		return []int{batchSize}
+	}
+	return []int{1, 64, 1024}
+}
+
 func experiments() []experiment {
 	return []experiment{
 		{"F1", "Fig. 1: set-containment join and division on the medical example", runF1},
@@ -74,6 +90,7 @@ func experiments() []experiment {
 		{"ST3", "Sharded stores: shard-local division and set joins, per-shard resident memory, merge cost", runST3},
 		{"ST4", "Vectorized execution: tuple-at-a-time vs columnar batches, throughput and allocs", runST4},
 		{"ST5", "Query planner: automatic linearization — division flow exponent 2 → 1, identical results", runST5},
+		{"ST6", "Vectorized semijoin algebras: workers × batch sweep, exchange overhead vs worker compute", runST6},
 	}
 }
 
@@ -490,7 +507,7 @@ func runST4(w io.Writer) {
 		wantT := want.Tuples()
 		baseNs, baseAllocs := bench(func() { ra.EvalStreamed(e, d) })
 		t.AddRow(pl.name, "tuple-at-a-time", "—", baseNs.Round(time.Microsecond), int64(baseAllocs), "1.00x", "1.0x")
-		for _, size := range []int{1, 64, 1024} {
+		for _, size := range batchSizes() {
 			opts := ra.StreamOptions{Vectorize: true, BatchSize: size}
 			got, gt := ra.EvalStreamedTracedOpts(e, d, opts)
 			if !sameEmission(got.Tuples(), wantT) {
@@ -575,6 +592,187 @@ func runST5(w io.Writer) {
 		ra.GrowthExponent(plainPts), ra.GrowthExponent(optPts))
 	fmt.Fprintln(w, "results byte-identical at every scale; the planner turns the quadratic")
 	fmt.Fprintln(w, "expression into the linear γ-division automatically")
+}
+
+// saTracesMatch reports whether two SA traces agree on shape: the
+// same steps in the same order — operator and flow count — and the
+// same resident peak. This is the parity the vectorized executor owes
+// the tuple executor beyond byte-identical emission.
+func saTracesMatch(got, want *sa.Trace) bool {
+	if len(got.Steps) != len(want.Steps) || got.MaxResident != want.MaxResident {
+		return false
+	}
+	for i := range want.Steps {
+		if got.Steps[i].Size != want.Steps[i].Size ||
+			got.Steps[i].Expr.String() != want.Steps[i].Expr.String() {
+			return false
+		}
+	}
+	return true
+}
+
+// xraTracesMatch is saTracesMatch for the extended algebra.
+func xraTracesMatch(got, want *xra.Trace) bool {
+	if len(got.Steps) != len(want.Steps) || got.MaxResident != want.MaxResident {
+		return false
+	}
+	for i := range want.Steps {
+		if got.Steps[i].Size != want.Steps[i].Size ||
+			got.Steps[i].Expr.String() != want.Steps[i].Expr.String() {
+			return false
+		}
+	}
+	return true
+}
+
+// runST6 sweeps the vectorized semijoin algebras across worker counts
+// and batch sizes, separating the two costs parallel vectorized
+// execution pays. The compute arm is single-worker by construction:
+// the vectorized SA and γ executors against their tuple-at-a-time
+// baselines at each batch size, so the batch knob is the only thing
+// moving — guarded by byte-identical emission, identical trace shape
+// (step order and per-step flow) and identical resident peak. The
+// exchange arm runs division sharded four ways, feeding shard-local
+// sized batch scans into the vectorized probe
+// (division.DivideShardBatches) over the worker pool at each
+// workers × batch point; the gid-ordered merge is timed separately,
+// because merge time is pure exchange overhead — paid once, whatever
+// the worker count — while the shard compute divides across workers
+// and amortizes with batch size. Every merged result is checked byte
+// for byte against the sequential hash division, and a planner tail
+// pins the mixed vectorized executor against the tuple plan. -workers
+// and -batch pin single points of the sweep.
+func runST6(w io.Writer) {
+	r, s := divisionScaling(400)
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 2, "S": 1}))
+	for _, tp := range r.Tuples() {
+		d.Add("R", tp)
+	}
+	for _, tp := range s.Tuples() {
+		d.Add("S", tp)
+	}
+	bench := func(f func()) time.Duration {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f()
+			}
+		})
+		return time.Duration(res.NsPerOp())
+	}
+	liveBefore, _, _ := rel.BatchPoolStats()
+
+	// Compute arm.
+	saExpr := sa.NewProject([]int{1}, sa.NewAntijoin(sa.R("R", 2), ra.Eq(2, 1), sa.R("S", 1)))
+	xExpr := xra.ContainmentDivision("R", "S")
+	saWant, saWT := sa.EvalStreamedTraced(saExpr, d)
+	xWant, xWT := xra.EvalStreamedTraced(xExpr, d)
+	saBase := bench(func() { sa.EvalStreamed(saExpr, d) })
+	xBase := bench(func() { xra.EvalStreamed(xExpr, d) })
+	ct := stats.NewTable("algebra", "batch", "time/op", "speedup")
+	ct.AddRow("SA antijoin-division", "tuple", saBase.Round(time.Microsecond), "1.00x")
+	ct.AddRow("γ-division", "tuple", xBase.Round(time.Microsecond), "1.00x")
+	for _, size := range batchSizes() {
+		saGot, saGT := sa.EvalVectorizedTracedSized(saExpr, d, size)
+		xGot, xGT := xra.EvalVectorizedTracedSized(xExpr, d, size)
+		if !sameEmission(saGot.Tuples(), saWant.Tuples()) || !sameEmission(xGot.Tuples(), xWant.Tuples()) {
+			fmt.Fprintln(w, "!! vectorized emission diverges from streamed")
+			return
+		}
+		if !saTracesMatch(saGT, saWT) || !xraTracesMatch(xGT, xWT) {
+			fmt.Fprintln(w, "!! vectorized trace shape diverges from streamed")
+			return
+		}
+		saNs := bench(func() { sa.EvalVectorizedTracedSized(saExpr, d, size) })
+		xNs := bench(func() { xra.EvalVectorizedTracedSized(xExpr, d, size) })
+		ct.AddRow("SA antijoin-division", size, saNs.Round(time.Microsecond),
+			fmt.Sprintf("%.2fx", float64(saBase)/float64(saNs)))
+		ct.AddRow("γ-division", size, xNs.Round(time.Microsecond),
+			fmt.Sprintf("%.2fx", float64(xBase)/float64(xNs)))
+	}
+	fmt.Fprintln(w, "compute arm (one worker): vectorized SA/γ emission, trace shape and resident")
+	fmt.Fprintln(w, "peak identical to tuple-at-a-time at every batch size")
+	fmt.Fprint(w, ct)
+
+	// Exchange arm.
+	const exShards = 4
+	sdb := shard.FromStore(d, exShards)
+	want, _ := division.Hash{}.Divide(r, s, division.Containment)
+	dt := division.NewDivisorTable(s)
+	rt := sdb.Router("R")
+	counts := []int{1, 2, 4}
+	if workers > 0 {
+		counts = []int{workers}
+	}
+	et := stats.NewTable("workers", "batch", "total", "merge (exchange)", "shard compute")
+	for _, wk := range counts {
+		for _, size := range batchSizes() {
+			start := time.Now()
+			cursors := make([]engine.BatchCursor, exShards)
+			for q := range cursors {
+				cursors[q] = ra.ScanBatches(sdb.ShardRel(q, "R"), size)
+			}
+			qualified := make([]map[rel.Value]bool, exShards)
+			engine.Executor{Workers: wk}.StreamShardedBatches(cursors, func(q int, shard engine.BatchCursor) {
+				qualified[q], _ = dt.DivideShardBatches(shard, division.Containment)
+			})
+			mergeStart := time.Now()
+			out := rel.NewRelationSized(1, rt.Len())
+			for gid := 0; gid < rt.Len(); gid++ {
+				v := rt.Value(uint32(gid))
+				if qualified[engine.PartOf(uint32(gid), exShards)][v] {
+					out.Add(rel.Tuple{v})
+				}
+			}
+			merge := time.Since(mergeStart)
+			total := time.Since(start)
+			if !sameEmission(out.Tuples(), want.Tuples()) {
+				fmt.Fprintln(w, "!! sharded vectorized division diverges from sequential hash")
+				return
+			}
+			et.AddRow(wk, size, total.Round(time.Microsecond), merge.Round(time.Microsecond),
+				(total - merge).Round(time.Microsecond))
+		}
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "exchange arm (4 shards): every merged emission matched sequential hash")
+	fmt.Fprintln(w, "division byte for byte")
+	fmt.Fprint(w, et)
+
+	// Planner tail: the optimized set-containment plan — a mixed
+	// semijoin/γ plan — executed vectorized at every batch size must
+	// match the tuple executor byte for byte.
+	wl := workload.SetJoin{RGroups: 200, SGroups: 200, MeanSize: 5, Dist: workload.Uniform,
+		Domain: 50, ContainFraction: 0.1, Seed: 21}
+	rRel, sRel := wl.Generate()
+	dj := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 2, "S": 2}))
+	for _, tp := range rRel.Tuples() {
+		dj.Add("R", tp)
+	}
+	for _, tp := range sRel.Tuples() {
+		dj.Add("S", tp)
+	}
+	pe := ra.SetContainmentJoinExpr("R", "S")
+	tp, err := plan.Compile(pe, dj, plan.Options{Optimize: true})
+	if err != nil {
+		fmt.Fprintf(w, "!! planner tail compile: %v\n", err)
+		return
+	}
+	wantJ := tp.Execute()
+	for _, size := range batchSizes() {
+		vp, err := plan.Compile(pe, dj, plan.Options{Optimize: true, Vectorize: true, BatchSize: size})
+		if err != nil {
+			fmt.Fprintf(w, "!! planner tail vectorized compile: %v\n", err)
+			return
+		}
+		if !sameEmission(vp.Execute().Tuples(), wantJ.Tuples()) {
+			fmt.Fprintf(w, "!! vectorized mixed plan diverges at batch %d\n", size)
+			return
+		}
+	}
+	liveAfter, _, _ := rel.BatchPoolStats()
+	fmt.Fprintf(w, "\nmixed plan (engine %s) vectorized == tuple at every batch size; batch pool:\n", tp.Engine())
+	fmt.Fprintf(w, "%d batches live before the sweep, %d after — transport recycled, nothing leaked\n",
+		liveBefore, liveAfter)
 }
 
 func runSJ1(w io.Writer) {

@@ -24,6 +24,8 @@ func main() {
 		"worker count for the parallel algorithm variants in P26/SJ1/SJ2 (0 = one per CPU)")
 	flag.IntVar(&shards, "shards", 0,
 		"shard count for the sharded-store experiment ST3 (0 = sweep 1, 2, 4)")
+	flag.IntVar(&batchSize, "batch", 0,
+		"batch row capacity for the vectorized sweeps in ST4 and ST6 (0 = sweep 1, 64, 1024)")
 	flag.Parse()
 
 	switch {

@@ -55,19 +55,38 @@ func checkEquivalence(t *testing.T, e ra.Expr, d *rel.Database) {
 	if err := sameEmission(want, opt.Execute()); err != nil {
 		t.Errorf("%s: optimized (engine %s): %v", e, opt.Engine(), err)
 	}
-	traced, _ := opt.ExecuteTraced()
+	traced, tt := opt.ExecuteTraced()
 	if err := sameEmission(want, traced); err != nil {
 		t.Errorf("%s: optimized traced (engine %s): %v", e, opt.Engine(), err)
 	}
 
-	// The vectorized arm only changes pure-RA execution, but Options
-	// accepts it for any plan, so exercise it everywhere.
+	// The vectorized arm covers every engine the dispatch knows — the
+	// RA, SA and XRA vectorized executors and the batch-native mixed
+	// executor — and must match the tuple path byte for byte, trace
+	// shape included, at a batch size that forces mid-operator batch
+	// boundaries.
 	vec, err := plan.Compile(e, d, plan.Options{Optimize: true, Vectorize: true, BatchSize: 64})
 	if err != nil {
 		t.Fatalf("%s: vectorized compile: %v", e, err)
 	}
 	if err := sameEmission(want, vec.Execute()); err != nil {
 		t.Errorf("%s: optimized vectorized: %v", e, err)
+	}
+	vecTraced, vt := vec.ExecuteTraced()
+	if err := sameEmission(want, vecTraced); err != nil {
+		t.Errorf("%s: optimized vectorized traced (engine %s): %v", e, vec.Engine(), err)
+	}
+	if len(vt.Steps) != len(tt.Steps) {
+		t.Errorf("%s (engine %s): vectorized trace has %d steps, tuple %d", e, vec.Engine(), len(vt.Steps), len(tt.Steps))
+	} else {
+		for i := range tt.Steps {
+			if vt.Steps[i] != tt.Steps[i] {
+				t.Errorf("%s (engine %s): step %d: vectorized %+v, tuple %+v", e, vec.Engine(), i, vt.Steps[i], tt.Steps[i])
+			}
+		}
+	}
+	if vt.MaxResident != tt.MaxResident {
+		t.Errorf("%s (engine %s): vectorized MaxResident %d, tuple %d", e, vec.Engine(), vt.MaxResident, tt.MaxResident)
 	}
 
 	for _, shards := range []int{1, 2, 4} {

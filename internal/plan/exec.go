@@ -173,19 +173,34 @@ func (p *Plan) run() (*rel.Relation, *Trace) {
 		}
 		return res, tr
 	case EngineSA:
-		res, t := sa.EvalStreamedTraced(p.saExpr, p.d)
+		var res *rel.Relation
+		var t *sa.Trace
+		if p.opts.Vectorize {
+			res, t = sa.EvalVectorizedTracedSized(p.saExpr, p.d, p.opts.BatchSize)
+		} else {
+			res, t = sa.EvalStreamedTraced(p.saExpr, p.d)
+		}
 		tr := &Trace{MaxIntermediate: t.MaxIntermediate, TotalTuples: t.TotalTuples, MaxResident: t.MaxResident}
 		for _, s := range t.Steps {
 			tr.Steps = append(tr.Steps, Step{Label: s.Expr.String(), Size: s.Size})
 		}
 		return res, tr
 	case EngineXRA:
-		res, t := xra.EvalStreamedTraced(p.xraExpr, p.d)
+		var res *rel.Relation
+		var t *xra.Trace
+		if p.opts.Vectorize {
+			res, t = xra.EvalVectorizedTracedSized(p.xraExpr, p.d, p.opts.BatchSize)
+		} else {
+			res, t = xra.EvalStreamedTraced(p.xraExpr, p.d)
+		}
 		tr := &Trace{MaxIntermediate: t.MaxIntermediate, TotalTuples: t.TotalTuples, MaxResident: t.MaxResident}
 		for _, s := range t.Steps {
 			tr.Steps = append(tr.Steps, Step{Label: s.Expr.String(), Size: s.Size})
 		}
 		return res, tr
+	}
+	if p.opts.Vectorize {
+		return p.runMixedVectorized()
 	}
 	return p.runMixed()
 }
@@ -376,4 +391,127 @@ func mayEmitDuplicates(n *Node) bool {
 		return mayEmitDuplicates(n.Kids[0]) || mayEmitDuplicates(n.Kids[1])
 	}
 	return true
+}
+
+// --- the vectorized mixed executor ---
+
+// runMixedVectorized is runMixed over columnar batches: RA operators
+// use ra's exported batch cursors, semijoins/antijoins use
+// sa.NewSemijoinBatchCursor, γ uses xra.NewGammaBatchCursor — the same
+// plan shape, strategy choices and meter accounting as the tuple mixed
+// executor, so emission and trace are byte-identical.
+func (p *Plan) runMixedVectorized() (*rel.Relation, *Trace) {
+	m := &ra.Meter{}
+	capacity := p.opts.BatchSize
+	if capacity <= 0 {
+		capacity = rel.BatchCap
+	}
+	b := &mixedVecBuilder{d: p.d, meter: m, capacity: capacity}
+	cur, root := b.batches(p.root)
+	out := rel.NewRelation(p.root.arity)
+	ra.DrainBatches(cur, out)
+	tr := &Trace{}
+	root.record(tr)
+	tr.MaxResident = m.Max()
+	return out, tr
+}
+
+// planCountBatchCursor counts rows flowing out of an operator into the
+// plan's planCountNode — the batch sibling of planCountCursor.
+type planCountBatchCursor struct {
+	in   ra.BatchCursor
+	node *planCountNode
+}
+
+func (c *planCountBatchCursor) NextBatch() (*rel.Batch, bool) {
+	b, ok := c.in.NextBatch()
+	if ok {
+		c.node.size += b.Len()
+	}
+	return b, ok
+}
+
+type mixedVecBuilder struct {
+	d        rel.ReadStore
+	meter    *ra.Meter
+	capacity int
+}
+
+func (b *mixedVecBuilder) baseRel(n *Node) rel.StoredRel {
+	return rel.CheckView(b.d, n.Name, n.arity, "plan")
+}
+
+func (b *mixedVecBuilder) batches(n *Node) (ra.BatchCursor, *planCountNode) {
+	node := &planCountNode{n: n}
+	var cur ra.BatchCursor
+	switch n.Kind {
+	case KRel:
+		cur = ra.ScanBatches(b.baseRel(n), b.capacity)
+	case KUnion:
+		l, ln := b.batches(n.Kids[0])
+		r, rn := b.batches(n.Kids[1])
+		node.kids = []*planCountNode{ln, rn}
+		cur = ra.NewUnionSinkBatchCursor(l, r, n.arity, b.meter, b.capacity)
+	case KDiff:
+		l, ln := b.batches(n.Kids[0])
+		node.kids = []*planCountNode{ln}
+		if sub := n.Kids[1]; sub.Kind == KRel {
+			cur = ra.NewDiffBatchCursor(l, nil, b.baseRel(sub), n.arity, b.meter)
+			node.kids = append(node.kids, &planCountNode{n: sub})
+		} else {
+			rc, rn := b.batches(sub)
+			cur = ra.NewDiffBatchCursor(l, rc, nil, n.arity, b.meter)
+			node.kids = append(node.kids, rn)
+		}
+	case KProject:
+		in, kn := b.batches(n.Kids[0])
+		node.kids = []*planCountNode{kn}
+		cur = ra.NewProjectBatchCursor(in, n.Cols)
+	case KSelect:
+		in, kn := b.batches(n.Kids[0])
+		node.kids = []*planCountNode{kn}
+		cur = ra.NewSelectBatchCursor(in, n.I, n.Op, n.J)
+	case KSelectConst:
+		in, kn := b.batches(n.Kids[0])
+		node.kids = []*planCountNode{kn}
+		cur = ra.NewSelectConstBatchCursor(in, n.I, n.C)
+	case KConstTag:
+		in, kn := b.batches(n.Kids[0])
+		node.kids = []*planCountNode{kn}
+		cur = ra.NewConstTagBatchCursor(in, n.C)
+	case KJoin:
+		l, ln := b.batches(n.Kids[0])
+		node.kids = []*planCountNode{ln}
+		if len(n.Cond.EqPairs()) > 0 {
+			rc, rn := b.batches(n.Kids[1])
+			node.kids = append(node.kids, rn)
+			cur = ra.NewHashJoinBatchCursor(l, rc, n.Cond, b.meter, b.capacity)
+		} else if sub := n.Kids[1]; sub.Kind == KRel {
+			node.kids = append(node.kids, &planCountNode{n: sub})
+			cur = ra.NewLoopJoinBatchCursor(l, nil, b.baseRel(sub), n.Cond, b.meter, b.capacity)
+		} else {
+			rc, rn := b.batches(sub)
+			node.kids = append(node.kids, rn)
+			cur = ra.NewLoopJoinBatchCursor(l, rc, nil, n.Cond, b.meter, b.capacity)
+		}
+	case KSemijoin, KAntijoin:
+		keep := n.Kind == KSemijoin
+		l, ln := b.batches(n.Kids[0])
+		node.kids = []*planCountNode{ln}
+		if sub := n.Kids[1]; len(n.Cond.EqPairs()) == 0 && sub.Kind == KRel {
+			node.kids = append(node.kids, &planCountNode{n: sub})
+			cur = sa.NewSemijoinBatchCursor(l, nil, b.baseRel(sub), n.Cond, keep, b.meter, b.capacity)
+		} else {
+			rc, rn := b.batches(sub)
+			node.kids = append(node.kids, rn)
+			cur = sa.NewSemijoinBatchCursor(l, rc, nil, n.Cond, keep, b.meter, b.capacity)
+		}
+	case KGamma:
+		in, kn := b.batches(n.Kids[0])
+		node.kids = []*planCountNode{kn}
+		cur = xra.NewGammaBatchCursor(in, n.Cols, n.CountCol, n.Kids[0].arity, mayEmitDuplicates(n.Kids[0]), b.meter, b.capacity)
+	default:
+		panic(fmt.Sprintf("plan: unknown kind %d", n.Kind))
+	}
+	return &planCountBatchCursor{in: cur, node: node}, node
 }

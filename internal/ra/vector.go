@@ -73,13 +73,13 @@ func evalVectorizedTraced(e Expr, d rel.ReadStore, opts StreamOptions) (*rel.Rel
 		lc, ln = b.batches(u.L)
 		rc, rn = b.batches(u.E)
 		root = &countNode{e: e, kids: []*countNode{ln, rn}}
-		drainBatches(lc, out)
-		drainBatches(rc, out)
+		DrainBatches(lc, out)
+		DrainBatches(rc, out)
 		root.n = out.Len()
 	} else {
 		var cur BatchCursor
 		cur, root = b.batches(e)
-		drainBatches(cur, out)
+		DrainBatches(cur, out)
 	}
 	tr := &Trace{}
 	root.record(tr)
@@ -87,12 +87,12 @@ func evalVectorizedTraced(e Expr, d rel.ReadStore, opts StreamOptions) (*rel.Rel
 	return out, tr
 }
 
-// drainBatches pulls in to exhaustion into the result sink, then
+// DrainBatches pulls in to exhaustion into the result sink, then
 // drops the sink's translation cache: the cache pins every source
 // dictionary the stream carried (operator dictionaries, adapter
 // dictionaries), which must not outlive the evaluation on a
 // caller-retained result.
-func drainBatches(in BatchCursor, sink *rel.Relation) {
+func DrainBatches(in BatchCursor, sink *rel.Relation) {
 	for b, ok := in.NextBatch(); ok; b, ok = in.NextBatch() {
 		sink.AddBatch(b)
 		b.Release()
@@ -133,18 +133,29 @@ func (b *vecBuilder) batchCap() int {
 	return rel.BatchCap
 }
 
-// scan opens the columnar scan of a stored relation: straight off the
-// stored ID columns when the backend offers them (the in-memory
-// relation does), otherwise through the interning tuple→batch adapter.
+// scan opens the columnar scan of a stored relation at the builder's
+// batch capacity.
 func (b *vecBuilder) scan(v rel.StoredRel) BatchCursor {
-	size := b.batchCap()
-	if s, ok := v.(rel.BatchScannerSized); ok {
-		return s.BatchScanSized(size)
+	return ScanBatches(v, b.batchCap())
+}
+
+// ScanBatches opens the columnar scan of a stored relation: straight
+// off the stored ID columns when the backend offers them (the
+// in-memory relation and shard views do), otherwise through the
+// interning tuple→batch adapter. capacity <= 0 means rel.BatchCap.
+// This is the scan resolution every vectorized executor (ra's, and
+// sa/xra's through the exported surface) shares.
+func ScanBatches(v rel.StoredRel, capacity int) BatchCursor {
+	if capacity <= 0 {
+		capacity = rel.BatchCap
 	}
-	if s, ok := v.(rel.BatchScanner); ok && size == rel.BatchCap {
+	if s, ok := v.(rel.BatchScannerSized); ok {
+		return s.BatchScanSized(capacity)
+	}
+	if s, ok := v.(rel.BatchScanner); ok && capacity == rel.BatchCap {
 		return s.BatchScan()
 	}
-	return rel.ToBatches(v.Scan(), v.Arity(), size)
+	return rel.ToBatches(v.Scan(), v.Arity(), capacity)
 }
 
 func (b *vecBuilder) baseRel(n *Rel) rel.StoredRel {
@@ -246,13 +257,13 @@ func (c *countBatchCursor) NextBatch() (*rel.Batch, bool) {
 	return b, ok
 }
 
-// filterBatch compacts src to the rows where keep is true, calling
+// FilterBatch compacts src to the rows where keep is true, calling
 // keep exactly once per row in row order (stateful predicates — the
 // dedup filter — rely on that). When every row passes, src itself is
 // returned (ownership passes through); otherwise the kept rows are
 // copied into a pooled batch and src is released. The result may be
 // empty.
-func filterBatch(src *rel.Batch, keep func(row int) bool) *rel.Batch {
+func FilterBatch(src *rel.Batch, keep func(row int) bool) *rel.Batch {
 	n := src.Len()
 	first := -1
 	for row := 0; row < n; row++ {
@@ -298,10 +309,10 @@ func (c *vecSelectCursor) NextBatch() (*rel.Batch, bool) {
 		var out *rel.Batch
 		if di == dj && (c.op == OpEq || c.op == OpNe) {
 			wantEq := c.op == OpEq
-			out = filterBatch(b, func(row int) bool { return (ci[row] == cj[row]) == wantEq })
+			out = FilterBatch(b, func(row int) bool { return (ci[row] == cj[row]) == wantEq })
 		} else {
 			op := c.op
-			out = filterBatch(b, func(row int) bool { return op.Eval(di.Value(ci[row]), dj.Value(cj[row])) })
+			out = FilterBatch(b, func(row int) bool { return op.Eval(di.Value(ci[row]), dj.Value(cj[row])) })
 		}
 		if out.Len() > 0 {
 			return out, true
@@ -344,7 +355,7 @@ func (c *vecSelectConstCursor) NextBatch() (*rel.Batch, bool) {
 			continue
 		}
 		col, id := b.Col(c.i), c.id
-		out := filterBatch(b, func(row int) bool { return col[row] == id })
+		out := FilterBatch(b, func(row int) bool { return col[row] == id })
 		if out.Len() > 0 {
 			return out, true
 		}
@@ -420,12 +431,15 @@ func (c *vecProjectCursor) NextBatch() (*rel.Batch, bool) {
 	return out, true
 }
 
-// idSet is the columnar hash set shared by the vectorized sinks (the
-// union sink, the built diff subtrahend, the dedup filter): rows are
-// translated into one canonical dictionary through an IDMap cache and
-// stored in flat columns with a HashIDs index — insertion order
-// preserved, so re-emission reproduces the tuple sinks' order exactly.
-type idSet struct {
+// IDSet is the columnar hash set shared by the vectorized sinks (the
+// union sink, the built diff subtrahend, the dedup filter) and — via
+// the column-mapped variants — the sibling algebras' build tables
+// (sa's semijoin key table): rows are translated into one canonical
+// dictionary through an IDMap cache and stored in flat columns with a
+// HashIDs index — insertion order preserved, so re-emission reproduces
+// the tuple sinks' order exactly. An IDSet is owned by one operator
+// and is not safe for concurrent use.
+type IDSet struct {
 	arity int
 	dict  *rel.Interner
 	xl    *rel.IDMap
@@ -434,11 +448,23 @@ type idSet struct {
 	next  []int32          // per row: 1 + next row in chain (0 ends)
 	n     int
 	buf   []uint32
+
+	// Probe acceleration for single-column sets: per probe dictionary,
+	// a dense membership table built by translating the set's few
+	// values INTO that dictionary — the inverse direction of xl — so a
+	// probe is one array load with no per-row hashing at all. Tables
+	// are built against the set size recorded in oneN and discarded
+	// when the set grows.
+	oneTbl map[*rel.Interner][]bool
+	oneN   int
+	lastD  *rel.Interner
+	lastT  []bool
 }
 
-func newIDSet(arity int) *idSet {
+// NewIDSet returns an empty set of rows of the given arity.
+func NewIDSet(arity int) *IDSet {
 	d := rel.NewInterner()
-	return &idSet{
+	return &IDSet{
 		arity: arity,
 		dict:  d,
 		xl:    rel.NewIDMap(d),
@@ -448,7 +474,10 @@ func newIDSet(arity int) *idSet {
 	}
 }
 
-func (s *idSet) rowEqual(pos int) bool {
+// Len returns the number of distinct rows held.
+func (s *IDSet) Len() int { return s.n }
+
+func (s *IDSet) rowEqual(pos int) bool {
 	for k, id := range s.buf {
 		if s.cols[k][pos] != id {
 			return false
@@ -457,10 +486,20 @@ func (s *idSet) rowEqual(pos int) bool {
 	return true
 }
 
-// add inserts row `row` of b, reporting whether it was new.
-func (s *idSet) add(b *rel.Batch, row int) bool {
+// Add inserts row `row` of b, reporting whether it was new.
+func (s *IDSet) Add(b *rel.Batch, row int) bool { return s.AddCols(b, row, nil) }
+
+// AddCols is Add over a column subset: set column k is read from batch
+// column cols[k] (0-based), so a consumer can key a set on the
+// equality columns of a wider batch — sa's semijoin build table. A nil
+// cols is the identity mapping.
+func (s *IDSet) AddCols(b *rel.Batch, row int, cols []int) bool {
 	for k := 0; k < s.arity; k++ {
-		s.buf[k] = s.xl.Intern(b.Dict(k), b.Col(k)[row])
+		src := k
+		if cols != nil {
+			src = cols[k]
+		}
+		s.buf[k] = s.xl.Intern(b.Dict(src), b.Col(src)[row])
 	}
 	h := rel.HashIDs(s.buf)
 	for pos := s.index[h]; pos != 0; pos = s.next[pos-1] {
@@ -477,10 +516,39 @@ func (s *idSet) add(b *rel.Batch, row int) bool {
 	return true
 }
 
-// contains probes row `row` of b without growing the set's dictionary.
-func (s *idSet) contains(b *rel.Batch, row int) bool {
+// Contains probes row `row` of b without growing the set's dictionary.
+func (s *IDSet) Contains(b *rel.Batch, row int) bool { return s.ContainsCols(b, row, nil) }
+
+// ContainsCols is Contains over a column subset, mapped as in AddCols.
+func (s *IDSet) ContainsCols(b *rel.Batch, row int, cols []int) bool {
+	if s.arity == 1 {
+		// Single-column fast path: a dense membership table over the
+		// probe dictionary, one array load per row.
+		src := 0
+		if cols != nil {
+			src = cols[0]
+		}
+		d, id := b.Dict(src), b.Col(src)[row]
+		tbl := s.lastT
+		if d != s.lastD || s.oneN != s.n {
+			tbl = s.oneTable(d)
+		}
+		if int(id) < len(tbl) {
+			return tbl[id]
+		}
+		// The probe dictionary grew past the table: resolve the late
+		// ID through the forward cache (the set's dictionary holds
+		// exactly the values added, so dictionary membership is set
+		// membership).
+		_, ok := s.xl.Lookup(d, id)
+		return ok
+	}
 	for k := 0; k < s.arity; k++ {
-		id, ok := s.xl.Lookup(b.Dict(k), b.Col(k)[row])
+		src := k
+		if cols != nil {
+			src = cols[k]
+		}
+		id, ok := s.xl.Lookup(b.Dict(src), b.Col(src)[row])
 		if !ok {
 			return false
 		}
@@ -494,22 +562,46 @@ func (s *idSet) contains(b *rel.Batch, row int) bool {
 	return false
 }
 
-// batches re-emits the set's contents in insertion order as view
+// oneTable returns the membership table for probe dictionary d,
+// building it on first use (and rebuilding all tables when the set has
+// grown since): each set value is reverse-looked-up in d once, so the
+// per-probe cost is independent of how many distinct values flow past
+// the probe — the DivisorTable trick, generalized.
+func (s *IDSet) oneTable(d *rel.Interner) []bool {
+	if s.oneTbl == nil || s.oneN != s.n {
+		s.oneTbl = make(map[*rel.Interner][]bool)
+		s.oneN = s.n
+	}
+	tbl, ok := s.oneTbl[d]
+	if !ok {
+		tbl = make([]bool, d.Len())
+		for _, kid := range s.cols[0] {
+			if pid, ok := d.ID(s.dict.Value(kid)); ok && int(pid) < len(tbl) {
+				tbl[pid] = true
+			}
+		}
+		s.oneTbl[d] = tbl
+	}
+	s.lastD, s.lastT = d, tbl
+	return tbl
+}
+
+// Batches re-emits the set's contents in insertion order as view
 // batches over its columns (valid until the next NextBatch call).
-func (s *idSet) batches(capacity int) BatchCursor {
-	c := &idSetCursor{s: s, size: capacity}
+func (s *IDSet) Batches(capacity int) BatchCursor {
+	c := &setCursor{s: s, size: capacity}
 	c.view.MakeView(s.cols, s.dict)
 	return c
 }
 
-type idSetCursor struct {
-	s    *idSet
+type setCursor struct {
+	s    *IDSet
 	size int
 	i    int
 	view rel.Batch
 }
 
-func (c *idSetCursor) NextBatch() (*rel.Batch, bool) {
+func (c *setCursor) NextBatch() (*rel.Batch, bool) {
 	if c.i >= c.s.n {
 		return nil, false
 	}
@@ -523,20 +615,20 @@ func (c *idSetCursor) NextBatch() (*rel.Batch, bool) {
 }
 
 // vecDedupCursor is the pipelined dedup filter at batch granularity:
-// the idSet holds one row per distinct tuple (charged to the meter,
+// the IDSet holds one row per distinct tuple (charged to the meter,
 // released at exhaustion) and each batch is compacted to its fresh
 // rows in place of the tuple filter's per-row probe.
 type vecDedupCursor struct {
 	in    BatchCursor
 	arity int
 	meter *Meter
-	set   *idSet
+	set   *IDSet
 	held  int
 }
 
 func (c *vecDedupCursor) NextBatch() (*rel.Batch, bool) {
 	if c.set == nil && c.held == 0 {
-		c.set = newIDSet(c.arity)
+		c.set = NewIDSet(c.arity)
 	}
 	for {
 		b, ok := c.in.NextBatch()
@@ -546,8 +638,8 @@ func (c *vecDedupCursor) NextBatch() (*rel.Batch, bool) {
 			c.set = nil
 			return nil, false
 		}
-		out := filterBatch(b, func(row int) bool {
-			if c.set.add(b, row) {
+		out := FilterBatch(b, func(row int) bool {
+			if c.set.Add(b, row) {
 				c.meter.Grow(1)
 				c.held++
 				return true
@@ -562,7 +654,7 @@ func (c *vecDedupCursor) NextBatch() (*rel.Batch, bool) {
 }
 
 // vecUnionCursor is the blocking union sink: both inputs drain into
-// one idSet, whose distinct rows then stream out in insertion order —
+// one IDSet, whose distinct rows then stream out in insertion order —
 // the exact emission of the tuple unionCursor — with the held state
 // released at exhaustion.
 type vecUnionCursor struct {
@@ -572,7 +664,7 @@ type vecUnionCursor struct {
 	capacity int
 
 	opened bool
-	set    *idSet
+	set    *IDSet
 	out    BatchCursor
 	held   int
 }
@@ -581,7 +673,7 @@ func (c *vecUnionCursor) drain(in BatchCursor) {
 	for b, ok := in.NextBatch(); ok; b, ok = in.NextBatch() {
 		n := b.Len()
 		for row := 0; row < n; row++ {
-			if c.set.add(b, row) {
+			if c.set.Add(b, row) {
 				c.meter.Grow(1)
 				c.held++
 			}
@@ -593,10 +685,10 @@ func (c *vecUnionCursor) drain(in BatchCursor) {
 func (c *vecUnionCursor) NextBatch() (*rel.Batch, bool) {
 	if !c.opened {
 		c.opened = true
-		c.set = newIDSet(c.arity)
+		c.set = NewIDSet(c.arity)
 		c.drain(c.l)
 		c.drain(c.r)
-		c.out = c.set.batches(c.capacity)
+		c.out = c.set.Batches(c.capacity)
 	}
 	if c.out == nil {
 		return nil, false
@@ -615,7 +707,7 @@ func (c *vecUnionCursor) NextBatch() (*rel.Batch, bool) {
 // against the subtrahend: a stored in-memory relation is probed on its
 // own index through a translation cache (holding nothing); any other
 // stored backend is probed tuple-wise in place; a computed subtrahend
-// is drained into an idSet first.
+// is drained into an IDSet first.
 type vecDiffCursor struct {
 	in     BatchCursor
 	buildC BatchCursor
@@ -624,7 +716,7 @@ type vecDiffCursor struct {
 	meter  *Meter
 
 	opened    bool
-	set       *idSet
+	set       *IDSet
 	storedRel *rel.Relation
 	xl        *rel.IDMap
 	ids       []uint32
@@ -636,11 +728,11 @@ func (c *vecDiffCursor) NextBatch() (*rel.Batch, bool) {
 	if !c.opened {
 		c.opened = true
 		if c.buildC != nil {
-			c.set = newIDSet(c.arity)
+			c.set = NewIDSet(c.arity)
 			for b, ok := c.buildC.NextBatch(); ok; b, ok = c.buildC.NextBatch() {
 				n := b.Len()
 				for row := 0; row < n; row++ {
-					if c.set.add(b, row) {
+					if c.set.Add(b, row) {
 						c.meter.Grow(1)
 						c.held++
 					}
@@ -661,7 +753,7 @@ func (c *vecDiffCursor) NextBatch() (*rel.Batch, bool) {
 			c.set = nil
 			return nil, false
 		}
-		out := filterBatch(b, func(row int) bool { return !c.containsRow(b, row) })
+		out := FilterBatch(b, func(row int) bool { return !c.containsRow(b, row) })
 		if out.Len() > 0 {
 			return out, true
 		}
@@ -672,7 +764,7 @@ func (c *vecDiffCursor) NextBatch() (*rel.Batch, bool) {
 func (c *vecDiffCursor) containsRow(b *rel.Batch, row int) bool {
 	switch {
 	case c.set != nil:
-		return c.set.contains(b, row)
+		return c.set.Contains(b, row)
 	case c.storedRel != nil:
 		for k := 0; k < c.arity; k++ {
 			id, ok := c.xl.Lookup(b.Dict(k), b.Col(k)[row])
@@ -688,24 +780,39 @@ func (c *vecDiffCursor) containsRow(b *rel.Batch, row int) bool {
 	}
 }
 
-// colStore is one materialized build-side column: IDs translated into
+// ColStore is one materialized build-side column: IDs translated into
 // a store-owned dictionary through an IDMap, so probes from any input
-// dictionary resolve with a cached array load.
-type colStore struct {
-	dict *rel.Interner
-	xl   *rel.IDMap
-	ids  []uint32
+// dictionary resolve with a cached array load. The vectorized joins —
+// and, through the exported surface, sa's residual-semijoin build —
+// append with Map.Intern and probe with Map.Lookup; IDs holds the
+// stored column in append order, decoded by Dict.
+type ColStore struct {
+	// Dict is the store-owned dictionary IDs are drawn from.
+	Dict *rel.Interner
+	// Map is the translation cache into Dict.
+	Map *rel.IDMap
+	// IDs is the stored column, in append order.
+	IDs []uint32
 }
 
-func newColStore() *colStore {
+// NewColStore returns an empty column store with a fresh dictionary.
+func NewColStore() *ColStore {
 	d := rel.NewInterner()
-	return &colStore{dict: d, xl: rel.NewIDMap(d)}
+	return &ColStore{Dict: d, Map: rel.NewIDMap(d)}
 }
 
-// packKey mixes eq-column IDs like JoinKeyer.Key: with at most two
+// Len returns the number of stored rows.
+func (cs *ColStore) Len() int { return len(cs.IDs) }
+
+// Append translates (d, id) into the store's dictionary and appends it.
+func (cs *ColStore) Append(d *rel.Interner, id uint32) {
+	cs.IDs = append(cs.IDs, cs.Map.Intern(d, id))
+}
+
+// PackKey mixes eq-column IDs like JoinKeyer.Key: with at most two
 // atoms the IDs pack collision-free, beyond that rel.HashIDs bucketing
 // is verified per candidate.
-func packKey(ids []uint32) uint64 {
+func PackKey(ids []uint32) uint64 {
 	if len(ids) <= 2 {
 		var h uint64
 		for _, id := range ids {
@@ -733,7 +840,7 @@ type vecHashJoinCursor struct {
 	capacity int
 
 	opened bool
-	build  []*colStore
+	build  []*ColStore
 	index  map[uint64][]int32
 	rows   int
 	held   int
@@ -765,16 +872,16 @@ func (c *vecHashJoinCursor) openBuild() {
 	for b, ok := c.buildC.NextBatch(); ok; b, ok = c.buildC.NextBatch() {
 		n := b.Len()
 		if c.build == nil {
-			c.build = make([]*colStore, b.Arity())
+			c.build = make([]*ColStore, b.Arity())
 			for k := range c.build {
-				c.build[k] = newColStore()
+				c.build[k] = NewColStore()
 			}
 		}
 		base := c.rows
 		for k, cs := range c.build {
 			col, d := b.Col(k), b.Dict(k)
 			for row := 0; row < n; row++ {
-				cs.ids = append(cs.ids, cs.xl.Intern(d, col[row]))
+				cs.Append(d, col[row])
 			}
 		}
 		c.rows += n
@@ -782,9 +889,9 @@ func (c *vecHashJoinCursor) openBuild() {
 		c.held += n
 		for row := 0; row < n; row++ {
 			for x, p := range c.eqs {
-				c.kbuf[x] = c.build[p[1]-1].ids[base+row]
+				c.kbuf[x] = c.build[p[1]-1].IDs[base+row]
 			}
-			k := packKey(c.kbuf)
+			k := PackKey(c.kbuf)
 			c.index[k] = append(c.index[k], int32(base+row))
 		}
 		b.Release()
@@ -800,24 +907,24 @@ func (c *vecHashJoinCursor) loadCands() {
 	}
 	for x, p := range c.eqs {
 		col := p[0] - 1
-		id, ok := c.build[p[1]-1].xl.Lookup(c.probe.Dict(col), c.probe.Col(col)[c.prow])
+		id, ok := c.build[p[1]-1].Map.Lookup(c.probe.Dict(col), c.probe.Col(col)[c.prow])
 		if !ok {
 			return
 		}
 		c.pids[x] = id
 	}
-	c.cands = c.index[packKey(c.pids)]
+	c.cands = c.index[PackKey(c.pids)]
 }
 
 func (c *vecHashJoinCursor) verify(brow int) bool {
 	for x, p := range c.eqs {
-		if c.build[p[1]-1].ids[brow] != c.pids[x] {
+		if c.build[p[1]-1].IDs[brow] != c.pids[x] {
 			return false
 		}
 	}
 	for _, at := range c.resid {
 		bs := c.build[at.R-1]
-		if !at.Op.Eval(c.probe.Value(at.L-1, c.prow), bs.dict.Value(bs.ids[brow])) {
+		if !at.Op.Eval(c.probe.Value(at.L-1, c.prow), bs.Dict.Value(bs.IDs[brow])) {
 			return false
 		}
 	}
@@ -832,7 +939,7 @@ func (c *vecHashJoinCursor) emit(brow int) {
 			c.out.SetDict(k, c.probe.Dict(k))
 		}
 		for k, cs := range c.build {
-			c.out.SetDict(la+k, cs.dict)
+			c.out.SetDict(la+k, cs.Dict)
 		}
 	}
 	row := c.out.Len()
@@ -840,7 +947,7 @@ func (c *vecHashJoinCursor) emit(brow int) {
 		c.out.WritableCol(k)[row] = c.probe.Col(k)[c.prow]
 	}
 	for k, cs := range c.build {
-		c.out.WritableCol(la + k)[row] = cs.ids[brow]
+		c.out.WritableCol(la + k)[row] = cs.IDs[brow]
 	}
 	c.out.SetLen(row + 1)
 }
@@ -951,32 +1058,43 @@ func (c *vecLoopJoinCursor) open() {
 // materialize drains in into per-column ID stores, charging every
 // buffered row to the meter.
 func (c *vecLoopJoinCursor) materialize(in BatchCursor) {
-	var stores []*colStore
+	c.rcols, c.rdicts, c.rn = MaterializeBatchColumns(in, c.meter)
+	c.held += c.rn
+}
+
+// MaterializeBatchColumns drains in into per-column ID stores and
+// returns the flat columns with their store-owned dictionaries,
+// charging every buffered row to m. The caller owns the buffered
+// state: it must Release the returned row count from m when done with
+// the columns. Shared by the loop-replay sides of the vectorized theta
+// joins here and the theta semijoins in internal/sa.
+func MaterializeBatchColumns(in BatchCursor, m *Meter) (cols [][]uint32, dicts []*rel.Interner, rows int) {
+	var stores []*ColStore
 	for b, ok := in.NextBatch(); ok; b, ok = in.NextBatch() {
 		n := b.Len()
 		if stores == nil {
-			stores = make([]*colStore, b.Arity())
+			stores = make([]*ColStore, b.Arity())
 			for k := range stores {
-				stores[k] = newColStore()
+				stores[k] = NewColStore()
 			}
 		}
 		for k, cs := range stores {
 			col, d := b.Col(k), b.Dict(k)
 			for row := 0; row < n; row++ {
-				cs.ids = append(cs.ids, cs.xl.Intern(d, col[row]))
+				cs.Append(d, col[row])
 			}
 		}
-		c.rn += n
-		c.meter.Grow(n)
-		c.held += n
+		rows += n
+		m.Grow(n)
 		b.Release()
 	}
-	c.rcols = make([][]uint32, len(stores))
-	c.rdicts = make([]*rel.Interner, len(stores))
+	cols = make([][]uint32, len(stores))
+	dicts = make([]*rel.Interner, len(stores))
 	for k, cs := range stores {
-		c.rcols[k] = cs.ids
-		c.rdicts[k] = cs.dict
+		cols[k] = cs.IDs
+		dicts[k] = cs.Dict
 	}
+	return cols, dicts, rows
 }
 
 func (c *vecLoopJoinCursor) ensureOut() {
@@ -1090,3 +1208,102 @@ func (c *vecLoopJoinCursor) NextBatch() (*rel.Batch, bool) {
 		c.ri++
 	}
 }
+
+// The constructors below expose the generic batch-operator cursors to
+// the sibling algebras' vectorized evaluators (internal/sa,
+// internal/xra) and the planner's mixed batch executor, mirroring the
+// tuple-side constructor surface (NewFilterCursor etc.): one
+// implementation of selection, projection, sinks and joins serves
+// every vectorized executor. Column indices are 1-based, as in the
+// expression nodes.
+
+// NewSelectBatchCursor streams σ_{i op j} over batches (columns
+// 1-based).
+func NewSelectBatchCursor(in BatchCursor, i int, op Op, j int) BatchCursor {
+	return &vecSelectCursor{in: in, i: i - 1, op: op, j: j - 1}
+}
+
+// NewSelectConstBatchCursor streams σ_{i=c} over batches (i 1-based).
+func NewSelectConstBatchCursor(in BatchCursor, i int, c rel.Value) BatchCursor {
+	return &vecSelectConstCursor{in: in, i: i - 1, c: c}
+}
+
+// NewConstTagBatchCursor streams τ_c over batches.
+func NewConstTagBatchCursor(in BatchCursor, c rel.Value) BatchCursor {
+	return newVecTagCursor(in, c)
+}
+
+// NewProjectBatchCursor streams π_{cols} over batches (cols 1-based);
+// deduplication is deferred to the consuming sink, as in the tuple
+// path.
+func NewProjectBatchCursor(in BatchCursor, cols []int) BatchCursor {
+	return &vecProjectCursor{in: in, cols: cols}
+}
+
+// NewUnionSinkBatchCursor drains both inputs into one deduplicated
+// IDSet and streams it out in insertion order, releasing the held
+// state at exhaustion.
+func NewUnionSinkBatchCursor(l, r BatchCursor, arity int, m *Meter, capacity int) BatchCursor {
+	return &vecUnionCursor{l: l, r: r, arity: arity, meter: m, capacity: capacity}
+}
+
+// NewDiffBatchCursor streams left through a membership filter against
+// the subtrahend: a stored relation is probed in place (holding
+// nothing), otherwise build is materialized first. Exactly one of
+// build and stored must be non-nil, as in NewDiffCursor.
+func NewDiffBatchCursor(left, build BatchCursor, stored rel.StoredRel, arity int, m *Meter) BatchCursor {
+	return &vecDiffCursor{in: left, buildC: build, stored: stored, arity: arity, meter: m}
+}
+
+// NewHashJoinBatchCursor builds the equality-keyed vectorized hash
+// join: the build side is materialized into per-column ID stores plus
+// a PackKey index, and probe batches stream against it. cond must
+// contain at least one equality atom.
+func NewHashJoinBatchCursor(left, build BatchCursor, cond Cond, m *Meter, capacity int) BatchCursor {
+	eqs := cond.EqPairs()
+	if len(eqs) == 0 {
+		panic("ra: NewHashJoinBatchCursor requires an equality atom")
+	}
+	return newVecHashJoinCursor(left, build, cond, eqs, m, capacity)
+}
+
+// NewLoopJoinBatchCursor replays the right side per probe row — in
+// place (zero copies, nothing held) when stored is the in-memory
+// relation, otherwise from a materialized, metered column store (see
+// the file comment for the one resident-parity exception). Exactly one
+// of build and stored must be non-nil.
+func NewLoopJoinBatchCursor(left, build BatchCursor, stored rel.StoredRel, cond Cond, m *Meter, capacity int) BatchCursor {
+	return &vecLoopJoinCursor{left: left, buildC: build, stored: stored, cond: cond, meter: m, capacity: capacity}
+}
+
+// BatchStream is the batch sibling of Stream: a compiled vectorized
+// plan handle through which the extended algebra pipelines wrapped
+// pure-RA subexpressions batch-natively. The caller pulls batches with
+// NextBatch (owning each yielded batch) and, once done, folds the
+// plan's flow counts into its own trace with EachStep.
+type BatchStream struct {
+	cur  BatchCursor
+	root *countNode
+}
+
+// OpenBatchStream validates e and compiles it into a vectorized plan
+// over d, charging operator state to m. opts.BatchSize sets the batch
+// capacity (0 = rel.BatchCap); the dedup decisions are the same ones
+// OpenStream makes for the same options, so tuple and batch streams of
+// one expression have identical trace shapes.
+func OpenBatchStream(e Expr, d rel.ReadStore, m *Meter, opts StreamOptions) *BatchStream {
+	if err := Validate(e); err != nil {
+		panic("ra: invalid expression: " + err.Error())
+	}
+	b := &vecBuilder{d: d, meter: m, opts: opts}
+	cur, root := b.batches(e)
+	return &BatchStream{cur: cur, root: root}
+}
+
+// NextBatch implements BatchCursor.
+func (s *BatchStream) NextBatch() (*rel.Batch, bool) { return s.cur.NextBatch() }
+
+// EachStep visits the plan's flow counts in post-order (children
+// before parents), matching the tuple Stream's step order. Call it
+// only after the stream is exhausted.
+func (s *BatchStream) EachStep(f func(e Expr, n int)) { s.root.each(f) }

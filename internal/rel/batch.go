@@ -369,6 +369,12 @@ func (u *batchUnpacker) Next() (Tuple, bool) {
 type IDMap struct {
 	to *Interner
 	m  map[*Interner][]uint32
+	// One-entry memo of the last source dictionary and its translation
+	// slice: consecutive rows of a batch stream overwhelmingly share
+	// one dictionary, so the hot path is a pointer compare and an
+	// array load instead of a map lookup per row.
+	lastD  *Interner
+	lastTr []uint32
 }
 
 // Translation cache encoding: 0 = not yet resolved, 1 = known absent
@@ -399,6 +405,7 @@ func (x *IDMap) slot(d *Interner, id uint32) []uint32 {
 		tr = grown
 		x.m[d] = tr
 	}
+	x.lastD, x.lastTr = d, tr
 	return tr
 }
 
@@ -407,6 +414,11 @@ func (x *IDMap) slot(d *Interner, id uint32) []uint32 {
 func (x *IDMap) Intern(d *Interner, id uint32) uint32 {
 	if d == x.to {
 		return id
+	}
+	if d == x.lastD && int(id) < len(x.lastTr) {
+		if v := x.lastTr[id]; v >= xlatOffset {
+			return v - xlatOffset
+		}
 	}
 	tr := x.slot(d, id)
 	if v := tr[id]; v >= xlatOffset {
@@ -423,6 +435,14 @@ func (x *IDMap) Intern(d *Interner, id uint32) uint32 {
 func (x *IDMap) Lookup(d *Interner, id uint32) (uint32, bool) {
 	if d == x.to {
 		return id, true
+	}
+	if d == x.lastD && int(id) < len(x.lastTr) {
+		switch v := x.lastTr[id]; {
+		case v >= xlatOffset:
+			return v - xlatOffset, true
+		case v == xlatAbsent:
+			return 0, false
+		}
 	}
 	tr := x.slot(d, id)
 	switch v := tr[id]; {

@@ -80,6 +80,45 @@ func Groups(r *rel.Relation) []*Group {
 	return order
 }
 
+// GroupsFromBatches is Groups over a columnar batch stream: grouping
+// runs on interned IDs translated through a rel.IDMap cache (after the
+// first occurrence of a key value, assigning a row to its group is an
+// array load), and the cursor's batches are released as they are
+// consumed. For streams carrying the same tuples in the same order —
+// e.g. a shard view's BatchScan against that shard's Tuples() — the
+// returned groups are identical to Groups', first-occurrence order
+// included, which is what lets the sharded set joins feed shard-local
+// batch scans straight into the group builder.
+func GroupsFromBatches(in rel.BatchCursor) []*Group {
+	gids := rel.NewInterner() // group key -> dense index into order
+	xl := rel.NewIDMap(gids)
+	var order []*Group
+	for b, ok := in.NextBatch(); ok; b, ok = in.NextBatch() {
+		if b.Arity() != 2 {
+			panic(fmt.Sprintf("setjoin: batch arity %d, want 2", b.Arity()))
+		}
+		n := b.Len()
+		kcol, ecol := b.Col(0), b.Col(1)
+		kdict, edict := b.Dict(0), b.Dict(1)
+		for row := 0; row < n; row++ {
+			gid := xl.Intern(kdict, kcol[row])
+			if int(gid) == len(order) {
+				order = append(order, &Group{Key: kdict.Value(kcol[row])})
+			}
+			// As in Groups: the source has set semantics, so elems
+			// within a group arrive distinct.
+			order[gid].Elems = append(order[gid].Elems, edict.Value(ecol[row]))
+		}
+		b.Release()
+	}
+	for _, g := range order {
+		sort.Slice(g.Elems, func(i, j int) bool { return g.Elems[i].Less(g.Elems[j]) })
+		g.sig = signature(g.Elems)
+		g.ckey = canonicalKey(g.Elems)
+	}
+	return order
+}
+
 // signature builds a 64-bit superset-monotone signature: the bitwise
 // OR of one hash bit per element. sig(X) ⊇bits sig(Y) is necessary
 // for X ⊇ Y, so signatures prune containment candidates.

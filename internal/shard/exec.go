@@ -161,7 +161,11 @@ func shardedSetJoin(db Source, rName, sName string, workers int, containment boo
 	eqPairs := make([][][]setjoin.RankedPair, n)
 	resident := make([]int, n)
 	engine.Executor{Workers: workers}.Run(n, func(q int) {
-		rGroups := setjoin.Groups(db.ShardRel(q, rName))
+		// Shard-local R sides flow as columnar batches straight off the
+		// relations' stored ID columns into the group builder — no tuple
+		// decoding on the grouping pass, and each worker's translation
+		// cache only reads the shard's sealed dictionaries.
+		rGroups := setjoin.GroupsFromBatches(db.ShardRel(q, rName).BatchScan())
 		resident[q] = groupsHeld(rGroups)
 		if containment {
 			containPairs[q], _ = setjoin.ShardContainment(rGroups, sGroups)

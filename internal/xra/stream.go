@@ -53,6 +53,12 @@ func EvalStreamedTraced(e Expr, d rel.ReadStore) (*rel.Relation, *Trace) {
 	return out, tr
 }
 
+// raStepper is the slice of ra.Stream/ra.BatchStream the trace needs:
+// the post-order walk over the wrapped RA subplan's flow counts.
+type raStepper interface {
+	EachStep(f func(e ra.Expr, n int))
+}
+
 // xCountNode mirrors one occurrence of an expression node in the plan.
 // Wrap nodes carry the compiled RA subplan instead of a count: the
 // materialized evaluator records a wrapped step per inner RA node and
@@ -61,7 +67,7 @@ type xCountNode struct {
 	e    Expr
 	n    int
 	kids []*xCountNode
-	sub  *ra.Stream // non-nil exactly for Wrap nodes
+	sub  raStepper // non-nil exactly for Wrap nodes
 }
 
 func (c *xCountNode) record(tr *Trace) {
