@@ -7,12 +7,14 @@ package radiv
 //
 //	go test -bench=. -benchmem
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"radiv/internal/bisim"
 	"radiv/internal/core"
 	"radiv/internal/division"
+	"radiv/internal/exec"
 	"radiv/internal/gf"
 	"radiv/internal/paperfigs"
 	"radiv/internal/plan"
@@ -725,6 +727,48 @@ func BenchmarkBisimScaling(b *testing.B) {
 				ch := bisim.NewChecker(a, bb, rel.Consts())
 				if !ch.Bisimilar(rel.Ints(0), rel.Ints(0)) {
 					b.Fatal("identical chains must be bisimilar")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGovernedOverhead prices the fault-tolerance plumbing of
+// PR 10: the same vectorized division run ungoverned (nil governor —
+// the legacy path, which must be byte-for-byte the pre-governor
+// executor) and through the governed Context boundary with an active
+// context and budgets. The governed arm's only steady-state cost is
+// one guard branch per batch on the columnar path (one per 64 tuples
+// on the tuple path), so the two arms must stay within noise of each
+// other. Acceptance: no >20% spread between the arms at the default
+// batch size.
+func BenchmarkGovernedOverhead(b *testing.B) {
+	r, s := benchDivisionInput(400)
+	d := rel.NewDatabase(rel.NewSchema(map[string]int{"R": 2, "S": 1}))
+	for _, t := range r.Tuples() {
+		d.Add("R", t)
+	}
+	for _, t := range s.Tuples() {
+		d.Add("S", t)
+	}
+	e := ra.DivisionExpr("R", "S")
+	for _, size := range []int{64, 1024} {
+		opts := ra.StreamOptions{Vectorize: true, BatchSize: size}
+		b.Run(fmt.Sprintf("ungoverned-%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ra.EvalStreamedTracedOpts(e, d, opts)
+			}
+		})
+		b.Run(fmt.Sprintf("governed-%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			gopts := opts
+			gopts.Limits = exec.Limits{MaxResident: 1 << 30}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ra.EvalStreamedContext(ctx, e, d, gopts); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

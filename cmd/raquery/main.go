@@ -9,18 +9,26 @@
 //	raquery -db data.txt -ra '...' -trace        # print intermediate sizes
 //	raquery -db data.txt -ra '...' -optimize     # run the rewrite planner
 //	raquery -db data.txt -ra '...' -explain      # print plan + cost estimates
+//	raquery -db data.txt -ra '...' -timeout 5s   # governed: wall-clock budget
+//	raquery -db data.txt -ra '...' -max-resident 100000  # tuple budget
+//
+// With -timeout or -max-resident the query runs through the governed
+// executor: exceeding either budget aborts the query cleanly (typed
+// error on stderr, exit 1) instead of running away.
 //
 // The database format is line oriented: "@R 2" declares relation R of
 // arity 2 and "R 1,2" adds the tuple (1,2); see internal/rel.ReadText.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"radiv/internal/exec"
 	"radiv/internal/gf"
 	"radiv/internal/parser"
 	"radiv/internal/plan"
@@ -49,6 +57,8 @@ func run(args []string, out io.Writer) error {
 	trace := fs.Bool("trace", false, "print intermediate result sizes")
 	optimize := fs.Bool("optimize", false, "run the rewrite planner over the -ra expression")
 	explain := fs.Bool("explain", false, "print the compiled -ra plan with cost estimates")
+	timeout := fs.Duration("timeout", 0, "abort the query after this wall-clock duration (0 = none)")
+	maxResident := fs.Int("max-resident", 0, "abort the query past this resident-tuple budget (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +80,17 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-optimize and -explain apply to -ra queries only")
 	}
 
+	// Budgets route the query through the governed executor: a timeout
+	// cancels the context mid-flight, a resident cap aborts on budget.
+	governed := *timeout > 0 || *maxResident > 0
+	lim := exec.Limits{MaxResident: *maxResident}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	switch {
 	case *raSrc != "":
 		e, err := parser.ParseRA(*raSrc, d.Schema())
@@ -79,14 +100,23 @@ func run(args []string, out io.Writer) error {
 		if *optimize || *explain {
 			// The planner path: compile (optionally rewriting), explain,
 			// and execute through whichever engine the plan bound.
-			p, err := plan.Compile(e, d, plan.Options{Optimize: *optimize})
+			p, err := plan.Compile(e, d, plan.Options{Optimize: *optimize, Limits: lim})
 			if err != nil {
 				return err
 			}
 			if *explain {
 				fmt.Fprint(out, p.Explain())
 			}
-			res, tr := p.ExecuteTraced()
+			var res *rel.Relation
+			var tr *plan.Trace
+			if governed {
+				res, tr, err = p.ExecuteTracedContext(ctx)
+				if err != nil {
+					return err
+				}
+			} else {
+				res, tr = p.ExecuteTraced()
+			}
 			if *trace {
 				for _, s := range tr.Steps {
 					fmt.Fprintf(out, "%8d  %s\n", s.Size, s.Label)
@@ -96,7 +126,16 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprint(out, res)
 			return nil
 		}
-		res, tr := ra.EvalTraced(e, d)
+		var res *rel.Relation
+		var tr *ra.Trace
+		if governed {
+			res, tr, err = ra.EvalStreamedContext(ctx, e, d, ra.StreamOptions{Limits: lim})
+			if err != nil {
+				return err
+			}
+		} else {
+			res, tr = ra.EvalTraced(e, d)
+		}
 		if *trace {
 			fmt.Fprint(out, tr)
 		}
@@ -106,7 +145,16 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, tr := sa.EvalTraced(e, d)
+		var res *rel.Relation
+		var tr *sa.Trace
+		if governed {
+			res, tr, err = sa.EvalStreamedContext(ctx, e, d, lim)
+			if err != nil {
+				return err
+			}
+		} else {
+			res, tr = sa.EvalTraced(e, d)
+		}
 		if *trace {
 			for _, s := range tr.Steps {
 				fmt.Fprintf(out, "%8d  %s\n", s.Size, s.Expr)
@@ -115,6 +163,9 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprint(out, res)
 	case *gfSrc != "":
+		if governed {
+			return fmt.Errorf("-timeout and -max-resident apply to -ra and -sa queries only")
+		}
 		formula, err := parser.ParseGF(*gfSrc)
 		if err != nil {
 			return err

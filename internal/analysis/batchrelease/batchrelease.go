@@ -35,8 +35,20 @@
 // exempts them: a cursor obtained from BatchScan/BatchScanSized
 // yields views whose Release is a no-op (aliased storage never
 // reaches the pool), so batches pulled from it are not tracked.
-// Panic paths owe no release either: pooled arrays are GC-recoverable
-// and a panic aborts the query.
+// Explicit panic paths owe no release: package-prefixed panics signal
+// programming errors, and the boundary turns them into a dead query
+// whose pooled arrays are GC-recoverable.
+//
+// Governed abort paths are different, and checked (the PR 10 abort
+// contract): exec.Throw and the Governor checkpoints Check and
+// CheckResident unwind in *normal operation* — on cancellation or a
+// budget trip — and the boundary recovery releases only batches
+// registered with the governor. A batch that is definitely held at
+// such a checkpoint call therefore leaks live pool count on every
+// abort; the pull-boundary idiom (check first, then pull) or a
+// deferred Release (defers run during the unwind) are the accepted
+// shapes, and an escape (handoff or Governor.Watch registration,
+// which passes the holder to a call) silences the check as usual.
 package batchrelease
 
 import (
@@ -54,7 +66,10 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-const relPath = "radiv/internal/rel"
+const (
+	relPath  = "radiv/internal/rel"
+	execPath = "radiv/internal/exec"
+)
 
 type state int
 
@@ -178,6 +193,12 @@ func (c *checker) walkStmt(s ast.Stmt, st stateMap) bool {
 			if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
 				return true // panic paths owe no release (pool entries are GC-recoverable)
 			}
+		}
+		if c.isGovCheck(call) {
+			// Governor checkpoints unwind on abort with only registered
+			// cleanups running: a batch held here leaks on every abort.
+			c.reportHeld(st, "is held across a governor checkpoint that can unwind on abort; check before pulling, defer the release, or register the holder with Governor.Watch")
+			return false
 		}
 		c.escapeIn(call, st)
 	case *ast.SendStmt:
@@ -465,6 +486,22 @@ func (c *checker) releaseTarget(call *ast.CallExpr) types.Object {
 		return nil
 	}
 	return c.pass.TypesInfo.Uses[id]
+}
+
+// isGovCheck matches the abort checkpoints: the package function
+// exec.Throw and the methods Check/CheckResident on *exec.Governor.
+// These are the only calls that unwind during normal (governed)
+// operation, so they are where the held-across-abort rule applies.
+func (c *checker) isGovCheck(call *ast.CallExpr) bool {
+	if analysis.CalleePkgFunc(c.pass, call, execPath, "Throw") {
+		return true
+	}
+	sel, recv := analysis.MethodCall(c.pass, call)
+	if sel == nil || recv == nil {
+		return false
+	}
+	name := sel.Sel.Name
+	return (name == "Check" || name == "CheckResident") && analysis.IsNamed(recv, execPath, "Governor")
 }
 
 // isNextBatch matches calls returning (*rel.Batch, bool) through a

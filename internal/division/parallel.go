@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"radiv/internal/engine"
+	"radiv/internal/exec"
 	"radiv/internal/rel"
 )
 
@@ -264,6 +265,17 @@ func (dt *DivisorTable) DivideShardBatches(shard engine.BatchCursor, sem Semanti
 // The returned cursor must be drained to exhaustion. With one worker
 // the stream is consumed inline and delegated to the sequential Hash.
 func (p ParallelHash) DivideStream(rc engine.Cursor, s *rel.Relation, sem Semantics) engine.Cursor {
+	return p.DivideStreamGov(nil, rc, s, sem)
+}
+
+// DivideStreamGov is DivideStream under a query governor (nil means
+// ungoverned, with identical behavior). Governed, the exchange and
+// the emitting goroutine select on the governor's Done channel, so an
+// abort — cancellation, budget trip, worker panic — stops routing and
+// emission promptly, closes the output channel, and strands no
+// goroutine; the in-flight packing batch is registered for abort
+// release. Callers check g.Err() after draining.
+func (p ParallelHash) DivideStreamGov(g *exec.Governor, rc engine.Cursor, s *rel.Relation, sem Semantics) engine.Cursor {
 	if s.Arity() != 1 {
 		panic(fmt.Sprintf("division: S has arity %d, want 1", s.Arity()))
 	}
@@ -278,9 +290,15 @@ func (p ParallelHash) DivideStream(rc engine.Cursor, s *rel.Relation, sem Semant
 		res, _ := Hash{}.Divide(r, s, sem)
 		return res.Cursor()
 	}
+	done := g.Done()
 	out := make(chan rel.Tuple, 64)
 	go func() {
 		defer close(out)
+		defer func() {
+			if g != nil {
+				g.AbortRecovered(recover())
+			}
+		}()
 		dt := NewDivisorTable(s)  // frozen after this point
 		gids := rel.NewInterner() // group value -> ID, router-owned while routing
 		// The producer side runs entirely on the router goroutine: rows
@@ -293,24 +311,31 @@ func (p ParallelHash) DivideStream(rc engine.Cursor, s *rel.Relation, sem Semant
 		// it is still being interned into while earlier batches are in
 		// flight, exactly the live-dictionary case the snapshot
 		// contract on StreamPartitionedBatches calls out.
+		packed := rel.ToBatches(&arityCheckCursor{in: rc}, 2, rel.BatchCap)
+		g.Watch(packed) // packer's staging batch released on abort
 		in := &gidSlotCursor{
-			in:    rel.ToBatches(&arityCheckCursor{in: rc}, 2, rel.BatchCap),
+			in:    packed,
 			gids:  rel.NewIDMap(gids),
 			dt:    dt,
 			slots: make(map[*rel.Interner][]int32),
 		}
 		qualified := make([]map[uint32]bool, ex.WorkerCount())
-		parts := ex.StreamPartitionedBatches(in, func(b *rel.Batch, row int) int {
+		parts := ex.StreamPartitionedBatchesGov(g, in, func(b *rel.Batch, row int) int {
 			return engine.PartOf(b.Col(0)[row], ex.WorkerCount())
 		}, func(q int, shard engine.BatchCursor) {
 			qualified[q] = dt.divideGidSlots(shard, sem)
 		})
+		if g.Aborted() {
+			return
+		}
 		// All workers done (the exchange returned): the packing
 		// dictionary is complete and sealed. Emit in group-ID order == group
 		// first-occurrence order == sequential Hash emission order.
 		for gid := 0; gid < gids.Len(); gid++ {
 			if qualified[engine.PartOf(uint32(gid), parts)][uint32(gid)] {
-				out <- rel.Tuple{gids.Value(uint32(gid))}
+				if !engine.SendOr(out, rel.Tuple{gids.Value(uint32(gid))}, done) {
+					return
+				}
 			}
 		}
 	}()

@@ -15,6 +15,9 @@ package engine
 // worker, so every channel has a live consumer from the start.
 
 import (
+	"sync"
+
+	"radiv/internal/exec"
 	"radiv/internal/rel"
 )
 
@@ -77,6 +80,17 @@ const batchChanCap = 4
 // division.DivideStream does) or have workers defer decoding until
 // the exchange has returned.
 func (e Executor) StreamPartitionedBatches(in BatchCursor, route func(b *rel.Batch, row int) int, work func(q int, shard BatchCursor)) int {
+	return e.StreamPartitionedBatchesGov(nil, in, route, work)
+}
+
+// StreamPartitionedBatchesGov is StreamPartitionedBatches under a
+// query governor (nil means ungoverned, with identical behavior).
+// The same robustness contract as StreamPartitionedGov, plus batch
+// accounting: on any early exit — consumer abandoning its shard,
+// query abort, router failure — every staging batch and every batch
+// still in flight on a channel is released before the exchange
+// returns, so no abort path can leak a pooled batch.
+func (e Executor) StreamPartitionedBatchesGov(g *exec.Governor, in BatchCursor, route func(b *rel.Batch, row int) int, work func(q int, shard BatchCursor)) int {
 	w := e.WorkerCount()
 	if w <= 1 {
 		work(0, in)
@@ -86,15 +100,37 @@ func (e Executor) StreamPartitionedBatches(in BatchCursor, route func(b *rel.Bat
 	for q := range chans {
 		chans[q] = make(chan *rel.Batch, batchChanCap)
 	}
+	done := g.Done()
+	var router sync.WaitGroup
+	router.Add(1)
 	go func() {
+		defer router.Done()
 		staging := make([]*rel.Batch, w)
+		cur := (*rel.Batch)(nil) // input batch being scattered
+		defer func() {
+			if g != nil {
+				g.AbortRecovered(recover())
+			}
+			cur.Release()
+			for _, s := range staging {
+				s.Release()
+			}
+			for _, ch := range chans {
+				close(ch)
+			}
+		}()
 		for b, ok := in.NextBatch(); ok; b, ok = in.NextBatch() {
+			cur = b
 			n := b.Len()
 			for row := 0; row < n; row++ {
 				q := route(b, row)
 				s := staging[q]
 				if s != nil && !s.DictsMatch(b) {
-					chans[q] <- s
+					staging[q] = nil
+					if !SendOr(chans[q], s, done) {
+						s.Release()
+						return
+					}
 					s = nil
 				}
 				if s == nil {
@@ -104,22 +140,53 @@ func (e Executor) StreamPartitionedBatches(in BatchCursor, route func(b *rel.Bat
 				}
 				s.AppendRowFrom(b, row)
 				if s.Full() {
-					chans[q] <- s
 					staging[q] = nil
+					if !SendOr(chans[q], s, done) {
+						s.Release()
+						return
+					}
 				}
 			}
+			cur = nil
 			b.Release()
 		}
 		for q, s := range staging {
 			if s != nil && s.Len() > 0 {
-				chans[q] <- s
+				staging[q] = nil
+				if !SendOr(chans[q], s, done) {
+					s.Release()
+				}
 			} else {
+				staging[q] = nil
 				s.Release()
 			}
-			close(chans[q])
 		}
 	}()
-	e.Run(w, func(q int) { work(q, ChanBatchCursor{C: chans[q]}) })
+	e.RunGoverned(g, w, func(q int) {
+		defer func() {
+			// Abort before draining, so the router stops the moment a
+			// worker fails; then release whatever is still in flight.
+			if g != nil {
+				if r := recover(); r != nil {
+					g.AbortRecovered(r)
+				}
+			}
+			for b := range chans[q] {
+				b.Release()
+			}
+		}()
+		work(q, ChanBatchCursor{C: chans[q]})
+	})
+	router.Wait()
+	// After an abort RunGoverned skips unclaimed partitions, so their
+	// channels were never drained by a worker; the router has closed
+	// every channel by now, so this sweep is finite and releases any
+	// batch still in flight.
+	for _, ch := range chans {
+		for b := range ch {
+			b.Release()
+		}
+	}
 	return w
 }
 
@@ -135,21 +202,45 @@ func (e Executor) StreamShardedBatches(shards []BatchCursor, work func(q int, sh
 	return len(shards)
 }
 
+// StreamShardedBatchesGov is StreamShardedBatches under a query
+// governor: a panicking shard task aborts the query instead of
+// killing the process and remaining shards are skipped. Callers
+// check g.Err().
+func (e Executor) StreamShardedBatchesGov(g *exec.Governor, shards []BatchCursor, work func(q int, shard BatchCursor)) int {
+	e.RunGoverned(g, len(shards), func(q int) { work(q, shards[q]) })
+	return len(shards)
+}
+
 // OrderedMergeBatches returns a batch cursor draining the channels in
 // slice order, the batch-granular sibling of OrderedMerge. The cursor
 // must be drained to exhaustion, or producers blocked on full channels
-// leak.
+// leak; use OrderedMergeBatchesStop when the consumer may abandon the
+// stream early.
 func OrderedMergeBatches(chans []chan *rel.Batch) BatchCursor {
-	return &orderedBatchMergeCursor{chans: chans}
+	return &OrderedBatchMergeCursor{chans: chans}
 }
 
-type orderedBatchMergeCursor struct {
+// OrderedMergeBatchesStop is OrderedMergeBatches for abandonable
+// consumers: the producers must send with SendOr against stop.C()
+// and close their channels when done. Close fires the stop, then
+// drains every channel to its close releasing the batches still in
+// flight, so after Close returns no producer is blocked and no
+// pooled batch is stranded.
+func OrderedMergeBatchesStop(chans []chan *rel.Batch, stop *Stop) *OrderedBatchMergeCursor {
+	return &OrderedBatchMergeCursor{chans: chans, stop: stop}
+}
+
+// OrderedBatchMergeCursor is the concrete ordered batch merge: a
+// BatchCursor with an early-close escape hatch (see
+// OrderedMergeBatchesStop).
+type OrderedBatchMergeCursor struct {
 	chans []chan *rel.Batch
+	stop  *Stop
 	i     int
 }
 
 // NextBatch implements BatchCursor.
-func (c *orderedBatchMergeCursor) NextBatch() (*rel.Batch, bool) {
+func (c *OrderedBatchMergeCursor) NextBatch() (*rel.Batch, bool) {
 	for c.i < len(c.chans) {
 		if b, ok := <-c.chans[c.i]; ok {
 			return b, true
@@ -157,6 +248,19 @@ func (c *orderedBatchMergeCursor) NextBatch() (*rel.Batch, bool) {
 		c.i++
 	}
 	return nil, false
+}
+
+// Close abandons the merge: it fires the stop so producers give up
+// on blocked sends, then drains every channel to its close,
+// releasing every batch still in flight. Safe to call at any point,
+// including after exhaustion; the cursor yields nothing afterwards.
+func (c *OrderedBatchMergeCursor) Close() {
+	c.stop.Stop()
+	for ; c.i < len(c.chans); c.i++ {
+		for b := range c.chans[c.i] {
+			b.Release()
+		}
+	}
 }
 
 // ChunkCap is the row count of one tuple chunk on the chunked merge
@@ -170,16 +274,39 @@ const ChunkCap = 256
 // chunks in slice order, flattening each chunk in order: the emission
 // sequence is exactly the per-channel concatenation OrderedMerge would
 // produce, at 1/ChunkCap the channel operations. The cursor must be
-// drained to exhaustion.
+// drained to exhaustion; use OrderedMergeChunksStop when the consumer
+// may abandon the stream early.
 func OrderedMergeChunks(chans []chan []rel.Tuple) Cursor {
 	return &orderedChunkMergeCursor{chans: chans}
 }
 
+// OrderedMergeChunksStop is OrderedMergeChunks for abandonable
+// consumers: the producers must send with SendOr against stop.C()
+// and close their channels when done. Close fires the stop and
+// drains every channel to its close, so after Close returns no
+// producer is blocked on a merge channel.
+func OrderedMergeChunksStop(chans []chan []rel.Tuple, stop *Stop) *orderedChunkMergeCursor {
+	return &orderedChunkMergeCursor{chans: chans, stop: stop}
+}
+
 type orderedChunkMergeCursor struct {
 	chans []chan []rel.Tuple
+	stop  *Stop
 	cur   []rel.Tuple
 	j     int
 	i     int
+}
+
+// Close abandons the merge: it fires the stop so producers give up
+// on blocked sends, then drains every channel to its close. Safe to
+// call at any point; the cursor yields nothing afterwards.
+func (c *orderedChunkMergeCursor) Close() {
+	c.stop.Stop()
+	c.cur, c.j = nil, 0
+	for ; c.i < len(c.chans); c.i++ {
+		for range c.chans[c.i] {
+		}
+	}
 }
 
 // Next implements Cursor.

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"radiv/internal/leakcheck"
 	"radiv/internal/rel"
 )
 
@@ -33,6 +34,7 @@ func (f funcCursor) Next() (rel.Tuple, bool) { return f() }
 // below reconstructs the same assignment, which works because
 // ToBatches interns in row order.
 func TestStreamPartitionedBatchesRoutesAll(t *testing.T) {
+	leakcheck.Check(t)
 	var tuples []rel.Tuple
 	for i := 0; i < 1000; i++ {
 		tuples = append(tuples, rel.Ints(int64(i%37), int64(i)))
@@ -109,6 +111,7 @@ func TestStreamPartitionedBatchesRoutesAll(t *testing.T) {
 // TestOrderedMergeBatches: batches drain channel by channel in slice
 // order.
 func TestOrderedMergeBatches(t *testing.T) {
+	leakcheck.Check(t)
 	chans := make([]chan *rel.Batch, 3)
 	for i := range chans {
 		chans[i] = make(chan *rel.Batch, 4)
@@ -151,6 +154,7 @@ func TestOrderedMergeBatches(t *testing.T) {
 // TestOrderedMergeChunks: chunk channels flatten in channel-then-chunk
 // order.
 func TestOrderedMergeChunks(t *testing.T) {
+	leakcheck.Check(t)
 	chans := make([]chan []rel.Tuple, 2)
 	for i := range chans {
 		chans[i] = make(chan []rel.Tuple, 4)

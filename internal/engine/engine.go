@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"radiv/internal/exec"
 	"radiv/internal/rel"
 )
 
@@ -128,6 +129,56 @@ func (e Executor) Run(tasks int, f func(task int)) {
 					return
 				}
 				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunGoverned is Run under a query governor: a panicking task aborts
+// the query (recording the first cause) instead of killing the
+// process, workers stop claiming tasks once the query is aborted, and
+// RunGoverned returns only after every started task has finished —
+// callers check g.Err() for the outcome. With a nil governor it is
+// exactly Run.
+func (e Executor) RunGoverned(g *exec.Governor, tasks int, f func(task int)) {
+	if g == nil {
+		e.Run(tasks, f)
+		return
+	}
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				g.AbortRecovered(r)
+			}
+		}()
+		f(i)
+	}
+	if tasks <= 0 {
+		return
+	}
+	w := e.WorkerCount()
+	if w > tasks {
+		w = tasks
+	}
+	if w <= 1 {
+		for i := 0; i < tasks && !g.Aborted(); i++ {
+			run(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for range w {
+		go func() {
+			defer wg.Done()
+			for !g.Aborted() {
+				i := int(next.Add(1)) - 1
+				if i >= tasks {
+					return
+				}
+				run(i)
 			}
 		}()
 	}

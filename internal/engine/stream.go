@@ -22,8 +22,57 @@ package engine
 // producers may outnumber workers freely.
 
 import (
+	"sync"
+
+	"radiv/internal/exec"
 	"radiv/internal/rel"
 )
+
+// Stop is a one-shot broadcast used to unblock producers when their
+// consumer goes away early: producers send with SendOr against the
+// stop channel, the abandoning side calls Stop. A nil *Stop is valid
+// and means "never stops" (C returns nil, which blocks forever in a
+// select, so SendOr degenerates to a plain send).
+type Stop struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+// NewStop returns a fresh, unfired Stop.
+func NewStop() *Stop { return &Stop{ch: make(chan struct{})} }
+
+// C returns the channel closed when Stop fires.
+func (s *Stop) C() <-chan struct{} {
+	if s == nil {
+		return nil
+	}
+	return s.ch
+}
+
+// Stop fires the broadcast. Idempotent and safe from any goroutine.
+func (s *Stop) Stop() {
+	if s != nil {
+		s.once.Do(func() { close(s.ch) })
+	}
+}
+
+// SendOr sends v on ch, or gives up when done is closed first,
+// reporting whether the send happened. A nil done is a plain
+// (blocking) send. This is the shape every bounded-channel producer
+// in the exchanges uses, so an early consumer close — or a query
+// abort — can never strand a producer on a full channel.
+func SendOr[T any](ch chan<- T, v T, done <-chan struct{}) bool {
+	if done == nil {
+		ch <- v
+		return true
+	}
+	select {
+	case ch <- v:
+		return true
+	case <-done:
+		return false
+	}
+}
 
 // Cursor is the engine's pull-based tuple iterator. It is structurally
 // identical to ra.Cursor and to *rel.Cursor, so cursors from the
@@ -59,6 +108,24 @@ const streamChanCap = 128
 // work(0, in) on the calling goroutine: no routing, no channels, no
 // goroutines.
 func (e Executor) StreamPartitioned(in Cursor, route func(rel.Tuple) int, work func(q int, shard Cursor)) int {
+	return e.StreamPartitionedGov(nil, in, route, work)
+}
+
+// StreamPartitionedGov is StreamPartitioned under a query governor
+// (nil means ungoverned, with identical behavior). Two robustness
+// properties hold in every mode:
+//
+//   - a work callback that returns before draining its shard no
+//     longer strands the router: the worker drains and discards the
+//     remainder of its channel after work returns, so the exchange
+//     always runs to completion and joins every goroutine;
+//   - governed, the router's sends select on the governor's Done
+//     channel and a panicking worker aborts the query instead of
+//     killing the process, so an abort (cancellation, budget trip,
+//     injected fault) stops routing promptly, closes every channel,
+//     and returns after all goroutines have joined — the caller
+//     checks g.Err().
+func (e Executor) StreamPartitionedGov(g *exec.Governor, in Cursor, route func(rel.Tuple) int, work func(q int, shard Cursor)) int {
 	w := e.WorkerCount()
 	if w <= 1 {
 		work(0, in)
@@ -68,15 +135,51 @@ func (e Executor) StreamPartitioned(in Cursor, route func(rel.Tuple) int, work f
 	for q := range chans {
 		chans[q] = make(chan rel.Tuple, streamChanCap)
 	}
+	done := g.Done()
+	var router sync.WaitGroup
+	router.Add(1)
 	go func() {
+		defer router.Done()
+		defer func() {
+			if g != nil {
+				g.AbortRecovered(recover())
+			}
+			for _, ch := range chans {
+				close(ch)
+			}
+		}()
 		for t, ok := in.Next(); ok; t, ok = in.Next() {
-			chans[route(t)] <- t
-		}
-		for _, ch := range chans {
-			close(ch)
+			if !SendOr(chans[route(t)], t, done) {
+				return
+			}
 		}
 	}()
-	e.Run(w, func(q int) { work(q, ChanCursor{C: chans[q]}) })
+	e.RunGoverned(g, w, func(q int) {
+		defer func() {
+			// Abort before draining, so the router stops routing the
+			// moment a worker fails rather than after the full input.
+			if g != nil {
+				if r := recover(); r != nil {
+					g.AbortRecovered(r)
+				}
+			}
+			// Drain-on-return: an early-stopping consumer discards the
+			// rest of its shard so the router can always finish. After
+			// an abort the router exits on Done and closes the
+			// channels, so this never blocks indefinitely.
+			for range chans[q] {
+			}
+		}()
+		work(q, ChanCursor{C: chans[q]})
+	})
+	router.Wait()
+	// After an abort RunGoverned skips unclaimed partitions, so their
+	// channels were never drained by a worker; the router has closed
+	// every channel by now, so this sweep is finite.
+	for _, ch := range chans {
+		for range ch {
+		}
+	}
 	return w
 }
 
@@ -94,24 +197,46 @@ func (e Executor) StreamSharded(shards []Cursor, work func(q int, shard Cursor))
 	return len(shards)
 }
 
+// StreamShardedGov is StreamSharded under a query governor: a
+// panicking shard task aborts the query instead of killing the
+// process and remaining shards are skipped. Callers check g.Err().
+func (e Executor) StreamShardedGov(g *exec.Governor, shards []Cursor, work func(q int, shard Cursor)) int {
+	e.RunGoverned(g, len(shards), func(q int) { work(q, shards[q]) })
+	return len(shards)
+}
+
 // OrderedMerge returns a cursor that drains the given channels in
 // slice order: all of channel 0 (until it closes), then channel 1, and
 // so on. Producers fill their own channel concurrently and close it
 // when done, so the consumer streams partition 0's results while later
 // partitions are still computing — the cursor-producing side of the
 // exchange. The cursor must be drained to exhaustion, or producers
-// blocked on full channels leak.
+// blocked on full channels leak; use OrderedMergeStop when the
+// consumer may abandon the stream early.
 func OrderedMerge(chans []chan rel.Tuple) Cursor {
-	return &orderedMergeCursor{chans: chans}
+	return &OrderedMergeCursor{chans: chans}
 }
 
-type orderedMergeCursor struct {
+// OrderedMergeStop is OrderedMerge for abandonable consumers: the
+// producers must send with SendOr against stop.C() and close their
+// channels when done. Close fires the stop, then drains every
+// channel to its close, so after Close returns no producer is
+// blocked on a merge channel. Draining to exhaustion without calling
+// Close is equally fine.
+func OrderedMergeStop(chans []chan rel.Tuple, stop *Stop) *OrderedMergeCursor {
+	return &OrderedMergeCursor{chans: chans, stop: stop}
+}
+
+// OrderedMergeCursor is the concrete ordered tuple merge: a Cursor
+// with an early-close escape hatch (see OrderedMergeStop).
+type OrderedMergeCursor struct {
 	chans []chan rel.Tuple
+	stop  *Stop
 	i     int
 }
 
 // Next implements Cursor.
-func (c *orderedMergeCursor) Next() (rel.Tuple, bool) {
+func (c *OrderedMergeCursor) Next() (rel.Tuple, bool) {
 	for c.i < len(c.chans) {
 		if t, ok := <-c.chans[c.i]; ok {
 			return t, true
@@ -119,4 +244,16 @@ func (c *orderedMergeCursor) Next() (rel.Tuple, bool) {
 		c.i++
 	}
 	return nil, false
+}
+
+// Close abandons the merge: it fires the stop so producers give up
+// on blocked sends, then drains every channel to its close. Safe to
+// call at any point, including after exhaustion; the cursor yields
+// nothing afterwards.
+func (c *OrderedMergeCursor) Close() {
+	c.stop.Stop()
+	for ; c.i < len(c.chans); c.i++ {
+		for range c.chans[c.i] {
+		}
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"radiv/internal/leakcheck"
 	"radiv/internal/rel"
 )
 
@@ -26,6 +27,7 @@ func (c *sliceCursor) Next() (rel.Tuple, bool) {
 // reaches exactly the partition route assigned it, in input order
 // within each partition, across worker counts.
 func TestStreamPartitionedDeliversEveryTupleOnce(t *testing.T) {
+	leakcheck.Check(t)
 	const n = 5000
 	tuples := make([]rel.Tuple, n)
 	for i := range tuples {
@@ -73,6 +75,7 @@ func TestStreamPartitionedDeliversEveryTupleOnce(t *testing.T) {
 // channel capacity; if no worker consumed concurrently, it would
 // deadlock (and the consumed counter would stay zero at input end).
 func TestStreamPartitionedPipelines(t *testing.T) {
+	leakcheck.Check(t)
 	const n = 100000 // far beyond workers × channel capacity
 	tuples := make([]rel.Tuple, n)
 	for i := range tuples {
@@ -95,6 +98,7 @@ func TestStreamPartitionedPipelines(t *testing.T) {
 // TestOrderedMergeDrainsInOrder: the merge cursor yields channel 0's
 // tuples first, then channel 1's, regardless of producer interleaving.
 func TestOrderedMergeDrainsInOrder(t *testing.T) {
+	leakcheck.Check(t)
 	chans := make([]chan rel.Tuple, 3)
 	for i := range chans {
 		chans[i] = make(chan rel.Tuple, 4)
@@ -127,6 +131,7 @@ func TestOrderedMergeDrainsInOrder(t *testing.T) {
 // pre-partitioned cursor to work exactly once, with the right index,
 // across worker counts — including workers > shards and workers == 1.
 func TestStreamShardedRunsEveryShardOnce(t *testing.T) {
+	leakcheck.Check(t)
 	for _, workers := range []int{1, 2, 4, 8} {
 		const shards = 3
 		cursors := make([]Cursor, shards)

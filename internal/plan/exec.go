@@ -1,9 +1,11 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 
 	"radiv/internal/division"
+	"radiv/internal/exec"
 	"radiv/internal/ra"
 	"radiv/internal/rel"
 	"radiv/internal/sa"
@@ -26,6 +28,10 @@ type Options struct {
 	// Workers is the worker count for the sharded division fast path
 	// (0 = sequential).
 	Workers int
+	// Limits bounds the query's resource use on the governed entry
+	// points (ExecuteContext, ExecuteTracedContext). Zero values mean
+	// unlimited; the legacy Execute/ExecuteTraced entries ignore it.
+	Limits exec.Limits
 }
 
 // Engine names which streaming executor runs the plan.
@@ -148,23 +154,70 @@ func (p *Plan) Execute() *rel.Relation {
 			return canonical(res)
 		}
 	}
-	res, _ := p.run()
+	res, _ := p.run(nil)
 	return canonical(res)
+}
+
+// ExecuteContext is the governed Execute: one governor spans the
+// whole plan — whichever engine it is bound to, the sharded division
+// fast path included — honoring ctx cancellation and deadlines at
+// every pull boundary, enforcing Options.Limits, converting internal
+// panics into typed errors, and releasing every pooled batch on every
+// abort path. On error the relation is nil.
+func (p *Plan) ExecuteContext(ctx context.Context) (*rel.Relation, error) {
+	if p.divR != "" {
+		if src, ok := p.d.(shard.Source); ok {
+			workers := p.opts.Workers
+			if workers < 1 {
+				workers = 1
+			}
+			res, err := func() (res *rel.Relation, err error) {
+				g := exec.NewGovernor(ctx, p.opts.Limits)
+				defer g.Recover(&err)
+				r, _ := shard.DivideGov(g, src, p.divR, p.divS, division.Containment, workers)
+				return canonical(r), nil
+			}()
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		}
+	}
+	res, _, err := p.ExecuteTracedContext(ctx)
+	return res, err
 }
 
 // ExecuteTraced runs the plan through its streaming engine (never the
 // sharded fast path, whose per-shard work has no single-plan trace)
 // and returns the canonical result plus the trace.
 func (p *Plan) ExecuteTraced() (*rel.Relation, *Trace) {
-	res, tr := p.run()
+	res, tr := p.run(nil)
 	return canonical(res), tr
 }
 
-// run dispatches to the bound engine.
-func (p *Plan) run() (*rel.Relation, *Trace) {
+// ExecuteTracedContext is the governed ExecuteTraced: like
+// ExecuteContext it runs under one governor, but always through the
+// plan's streaming engine so the trace exists. On error the relation
+// and trace are nil.
+func (p *Plan) ExecuteTracedContext(ctx context.Context) (*rel.Relation, *Trace, error) {
+	res, tr, err := func() (res *rel.Relation, tr *Trace, err error) {
+		g := exec.NewGovernor(ctx, p.opts.Limits)
+		defer g.Recover(&err)
+		r, t := p.run(g)
+		return canonical(r), t, nil
+	}()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
+}
+
+// run dispatches to the bound engine, threading the governor (nil =
+// ungoverned) into its executor core.
+func (p *Plan) run(g *exec.Governor) (*rel.Relation, *Trace) {
 	switch p.engine {
 	case EngineRA:
-		res, t := ra.EvalStreamedTracedOpts(p.raExpr, p.d, ra.StreamOptions{
+		res, t := ra.EvalStreamedGoverned(g, p.raExpr, p.d, ra.StreamOptions{
 			Vectorize: p.opts.Vectorize, BatchSize: p.opts.BatchSize,
 		})
 		tr := &Trace{MaxIntermediate: t.MaxIntermediate, TotalTuples: t.TotalTuples, MaxResident: t.MaxResident}
@@ -176,9 +229,9 @@ func (p *Plan) run() (*rel.Relation, *Trace) {
 		var res *rel.Relation
 		var t *sa.Trace
 		if p.opts.Vectorize {
-			res, t = sa.EvalVectorizedTracedSized(p.saExpr, p.d, p.opts.BatchSize)
+			res, t = sa.EvalVectorizedGoverned(g, p.saExpr, p.d, p.opts.BatchSize)
 		} else {
-			res, t = sa.EvalStreamedTraced(p.saExpr, p.d)
+			res, t = sa.EvalStreamedGoverned(g, p.saExpr, p.d)
 		}
 		tr := &Trace{MaxIntermediate: t.MaxIntermediate, TotalTuples: t.TotalTuples, MaxResident: t.MaxResident}
 		for _, s := range t.Steps {
@@ -189,9 +242,9 @@ func (p *Plan) run() (*rel.Relation, *Trace) {
 		var res *rel.Relation
 		var t *xra.Trace
 		if p.opts.Vectorize {
-			res, t = xra.EvalVectorizedTracedSized(p.xraExpr, p.d, p.opts.BatchSize)
+			res, t = xra.EvalVectorizedGoverned(g, p.xraExpr, p.d, p.opts.BatchSize)
 		} else {
-			res, t = xra.EvalStreamedTraced(p.xraExpr, p.d)
+			res, t = xra.EvalStreamedGoverned(g, p.xraExpr, p.d)
 		}
 		tr := &Trace{MaxIntermediate: t.MaxIntermediate, TotalTuples: t.TotalTuples, MaxResident: t.MaxResident}
 		for _, s := range t.Steps {
@@ -200,9 +253,9 @@ func (p *Plan) run() (*rel.Relation, *Trace) {
 		return res, tr
 	}
 	if p.opts.Vectorize {
-		return p.runMixedVectorized()
+		return p.runMixedVectorized(g)
 	}
-	return p.runMixed()
+	return p.runMixed(g)
 }
 
 // canonical rebuilds a result in sorted tuple order. The copy is
@@ -242,12 +295,13 @@ func matchGammaDivision(n *Node) (rName, sName string, ok bool) {
 // the shared ra.Cursor substrate: RA operators use ra's exported
 // cursors, semijoins/antijoins use sa.NewSemijoinCursor, γ uses
 // xra.NewGammaCursor — all metered into one resident count.
-func (p *Plan) runMixed() (*rel.Relation, *Trace) {
-	m := &ra.Meter{}
+func (p *Plan) runMixed(g *exec.Governor) (*rel.Relation, *Trace) {
+	m := ra.NewGovernedMeter(g)
 	b := &mixedBuilder{d: p.d, meter: m}
 	cur, root := b.cursor(p.root)
+	drain := m.Guard(cur)
 	out := rel.NewRelation(p.root.arity)
-	for t, ok := cur.Next(); ok; t, ok = cur.Next() {
+	for t, ok := drain.Next(); ok; t, ok = drain.Next() {
 		out.Add(t)
 	}
 	tr := &Trace{}
@@ -298,7 +352,7 @@ func (b *mixedBuilder) cursor(n *Node) (ra.Cursor, *planCountNode) {
 	var cur ra.Cursor
 	switch n.Kind {
 	case KRel:
-		cur = b.baseRel(n).Scan()
+		cur = b.meter.Guard(b.baseRel(n).Scan())
 	case KUnion:
 		l, ln := b.cursor(n.Kids[0])
 		r, rn := b.cursor(n.Kids[1])
@@ -400,8 +454,8 @@ func mayEmitDuplicates(n *Node) bool {
 // sa.NewSemijoinBatchCursor, γ uses xra.NewGammaBatchCursor — the same
 // plan shape, strategy choices and meter accounting as the tuple mixed
 // executor, so emission and trace are byte-identical.
-func (p *Plan) runMixedVectorized() (*rel.Relation, *Trace) {
-	m := &ra.Meter{}
+func (p *Plan) runMixedVectorized(g *exec.Governor) (*rel.Relation, *Trace) {
+	m := ra.NewGovernedMeter(g)
 	capacity := p.opts.BatchSize
 	if capacity <= 0 {
 		capacity = rel.BatchCap
@@ -409,7 +463,7 @@ func (p *Plan) runMixedVectorized() (*rel.Relation, *Trace) {
 	b := &mixedVecBuilder{d: p.d, meter: m, capacity: capacity}
 	cur, root := b.batches(p.root)
 	out := rel.NewRelation(p.root.arity)
-	ra.DrainBatches(cur, out)
+	ra.DrainBatches(m.GuardBatches(cur), out)
 	tr := &Trace{}
 	root.record(tr)
 	tr.MaxResident = m.Max()
@@ -446,7 +500,7 @@ func (b *mixedVecBuilder) batches(n *Node) (ra.BatchCursor, *planCountNode) {
 	var cur ra.BatchCursor
 	switch n.Kind {
 	case KRel:
-		cur = ra.ScanBatches(b.baseRel(n), b.capacity)
+		cur = b.meter.GuardBatches(ra.ScanBatches(b.baseRel(n), b.capacity))
 	case KUnion:
 		l, ln := b.batches(n.Kids[0])
 		r, rn := b.batches(n.Kids[1])

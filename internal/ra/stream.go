@@ -30,8 +30,10 @@ package ra
 // resident meter across a mixed plan.
 
 import (
+	"context"
 	"fmt"
 
+	"radiv/internal/exec"
 	"radiv/internal/rel"
 )
 
@@ -71,6 +73,10 @@ type StreamOptions struct {
 	// BatchSize overrides the row capacity of the vectorized executor's
 	// batches; 0 means rel.BatchCap. Only meaningful with Vectorize.
 	BatchSize int
+	// Limits bounds the query's resource use (resident tuples, pooled
+	// batches). Enforced only by the governed Context entry points;
+	// the legacy panic-based entries ignore it.
+	Limits exec.Limits
 }
 
 // EvalStreamed evaluates the expression with the streaming executor
@@ -99,13 +105,69 @@ func EvalStreamedTraced(e Expr, d rel.ReadStore) (*rel.Relation, *Trace) {
 // EvalStreamedTracedOpts is EvalStreamedTraced with explicit executor
 // options.
 func EvalStreamedTracedOpts(e Expr, d rel.ReadStore, opts StreamOptions) (*rel.Relation, *Trace) {
+	return evalStreamedGoverned(nil, e, d, opts)
+}
+
+// EvalContext is the error-returning boundary over the materialized
+// evaluator: the engine's package-prefixed panics surface as typed,
+// wrapped errors instead of unwinding into the caller. Cancellation
+// is only observed before evaluation starts — the materialized
+// evaluator has no mid-flight check points; use EvalStreamedContext
+// for cancellable execution.
+func EvalContext(ctx context.Context, e Expr, d rel.ReadStore) (res *rel.Relation, err error) {
+	defer exec.RecoverPanic(&err)
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("ra: query canceled: %w", cerr)
+		}
+	}
+	return Eval(e, d), nil
+}
+
+// EvalStreamedContext is the governed streaming entry point: it
+// honors ctx cancellation and deadlines at every pull boundary,
+// enforces opts.Limits, converts internal panics into typed errors,
+// and guarantees that on error every pooled batch the evaluation
+// acquired has been released. opts.Vectorize selects the columnar
+// executor exactly as in EvalStreamedTracedOpts. On error the
+// relation and trace are nil.
+func EvalStreamedContext(ctx context.Context, e Expr, d rel.ReadStore, opts StreamOptions) (*rel.Relation, *Trace, error) {
+	if verr := Validate(e); verr != nil {
+		return nil, nil, fmt.Errorf("ra: invalid expression: %w", verr)
+	}
+	res, tr, err := func() (res *rel.Relation, tr *Trace, err error) {
+		g := exec.NewGovernor(ctx, opts.Limits)
+		defer g.Recover(&err)
+		res, tr = evalStreamedGoverned(g, e, d, opts)
+		return res, tr, nil
+	}()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
+}
+
+// EvalStreamedGoverned runs the streaming (or, per opts.Vectorize,
+// columnar) executor under a caller-supplied governor — the hook the
+// plan layer uses to share one governor across engines. The caller
+// owns the boundary: it must recover with Governor.Recover. A nil
+// governor is exactly the legacy ungoverned path.
+func EvalStreamedGoverned(g *exec.Governor, e Expr, d rel.ReadStore, opts StreamOptions) (*rel.Relation, *Trace) {
+	return evalStreamedGoverned(g, e, d, opts)
+}
+
+// evalStreamedGoverned is the shared core of the legacy and governed
+// entries: with a nil governor it is exactly the old executor (no
+// guards, no overhead); with a governor it threads it through the
+// meter so every leaf scan is wrapped in a guard cursor.
+func evalStreamedGoverned(g *exec.Governor, e Expr, d rel.ReadStore, opts StreamOptions) (*rel.Relation, *Trace) {
 	if opts.Vectorize {
-		return evalVectorizedTraced(e, d, opts)
+		return evalVectorizedTraced(g, e, d, opts)
 	}
 	if err := Validate(e); err != nil {
 		panic("ra: invalid expression: " + err.Error())
 	}
-	meter := &Meter{}
+	meter := &Meter{gov: g}
 	b := &streamBuilder{d: d, meter: meter, opts: opts}
 	out := rel.NewRelationSized(e.Arity(), sinkHint(d, e))
 	var root *countNode
@@ -118,6 +180,7 @@ func EvalStreamedTracedOpts(e Expr, d rel.ReadStore, opts StreamOptions) (*rel.R
 		var ln, rn *countNode
 		lc, ln = b.cursor(u.L)
 		rc, rn = b.cursor(u.E)
+		lc, rc = meter.Guard(lc), meter.Guard(rc)
 		root = &countNode{e: e, kids: []*countNode{ln, rn}}
 		for t, ok := lc.Next(); ok; t, ok = lc.Next() {
 			out.Add(t)
@@ -129,6 +192,7 @@ func EvalStreamedTracedOpts(e Expr, d rel.ReadStore, opts StreamOptions) (*rel.R
 	} else {
 		var cur Cursor
 		cur, root = b.cursor(e)
+		cur = meter.Guard(cur)
 		for t, ok := cur.Next(); ok; t, ok = cur.Next() {
 			out.Add(t)
 		}
@@ -146,7 +210,16 @@ func EvalStreamedTracedOpts(e Expr, d rel.ReadStore, opts StreamOptions) (*rel.R
 // Meter may be shared across algebras (the xra evaluator threads its
 // meter through wrapped RA subplans via OpenStream), so the peak is
 // the true concurrent footprint of the mixed plan.
-type Meter struct{ cur, max int }
+type Meter struct {
+	cur, max int
+	gov      *exec.Governor
+}
+
+// NewGovernedMeter builds a meter bound to a query governor. Guard
+// cursors obtained from Guard/GuardBatches enforce the governor's
+// cancellation and budgets against this meter's live count; a plain
+// &Meter{} is ungoverned and the guards are free passthroughs.
+func NewGovernedMeter(g *exec.Governor) *Meter { return &Meter{gov: g} }
 
 // Grow records n more tuples entering operator state.
 func (m *Meter) Grow(n int) {
@@ -161,6 +234,83 @@ func (m *Meter) Release(n int) { m.cur -= n }
 
 // Max returns the peak number of concurrently held tuples so far.
 func (m *Meter) Max() int { return m.max }
+
+// Cur returns the currently resident tuple count.
+func (m *Meter) Cur() int { return m.cur }
+
+// Governor returns the query governor the meter is bound to, or nil.
+func (m *Meter) Governor() *exec.Governor {
+	if m == nil {
+		return nil
+	}
+	return m.gov
+}
+
+// Watch registers c's held-batch cleanup with the meter's governor
+// when both exist (see rel.BatchHolder); a no-op otherwise.
+func (m *Meter) Watch(c any) {
+	if m != nil && m.gov != nil {
+		m.gov.Watch(c)
+	}
+}
+
+// guardStride is how many tuples a tuple-path guard lets through
+// between governor checks. Power of two; the vectorized guard checks
+// once per batch instead.
+const guardStride = 64
+
+// Guard wraps a tuple cursor with the governor check point: every
+// guardStride rows it observes cancellation and enforces the
+// resident-tuple and batch-pool budgets. With no governor the cursor
+// is returned unchanged, so ungoverned plans pay nothing. The check
+// happens before the pull, when the guard's frame holds no pooled
+// batch — the only place an abort is allowed to unwind from.
+func (m *Meter) Guard(in Cursor) Cursor {
+	if m == nil || m.gov == nil {
+		return in
+	}
+	m.gov.Watch(in)
+	return &guardCursor{in: in, g: m.gov, m: m}
+}
+
+// GuardBatches is Guard for batch cursors: one governor check per
+// batch boundary, which is the "≤ one branch per batch" the
+// cancellation-latency contract promises.
+func (m *Meter) GuardBatches(in rel.BatchCursor) rel.BatchCursor {
+	if m == nil || m.gov == nil {
+		return in
+	}
+	m.gov.Watch(in)
+	return &guardBatchCursor{in: in, g: m.gov, m: m}
+}
+
+type guardCursor struct {
+	in Cursor
+	g  *exec.Governor
+	m  *Meter
+	n  int
+}
+
+func (c *guardCursor) Next() (rel.Tuple, bool) {
+	if c.n&(guardStride-1) == 0 {
+		c.g.Check()
+		c.g.CheckResident(c.m.cur)
+	}
+	c.n++
+	return c.in.Next()
+}
+
+type guardBatchCursor struct {
+	in rel.BatchCursor
+	g  *exec.Governor
+	m  *Meter
+}
+
+func (c *guardBatchCursor) NextBatch() (*rel.Batch, bool) {
+	c.g.Check()
+	c.g.CheckResident(c.m.cur)
+	return c.in.NextBatch()
+}
 
 // Stream is a compiled streaming plan handle, the hook through which
 // the extended algebra pipelines wrapped pure-RA subexpressions: the
@@ -260,7 +410,7 @@ func (b *streamBuilder) cursor(e Expr) (Cursor, *countNode) {
 	b.probeBucket = 0
 	switch n := e.(type) {
 	case *Rel:
-		cur = b.baseRel(n).Scan()
+		cur = b.meter.Guard(b.baseRel(n).Scan())
 	case *Union:
 		l, ln := b.cursor(n.L)
 		r, rn := b.cursor(n.E)

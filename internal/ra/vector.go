@@ -28,9 +28,11 @@ package ra
 // reshape rows write into pooled batches and release their inputs.
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"radiv/internal/exec"
 	"radiv/internal/rel"
 )
 
@@ -52,16 +54,26 @@ func EvalVectorized(e Expr, d rel.ReadStore) *rel.Relation {
 // counts, step order and MaxResident the tuple-at-a-time streaming
 // executor reports.
 func EvalVectorizedTraced(e Expr, d rel.ReadStore) (*rel.Relation, *Trace) {
-	return evalVectorizedTraced(e, d, StreamOptions{Vectorize: true})
+	return evalVectorizedTraced(nil, e, d, StreamOptions{Vectorize: true})
+}
+
+// EvalVectorizedContext is the governed vectorized entry point: the
+// columnar sibling of EvalStreamedContext (which it equals with
+// opts.Vectorize set).
+func EvalVectorizedContext(ctx context.Context, e Expr, d rel.ReadStore) (*rel.Relation, error) {
+	res, _, err := EvalStreamedContext(ctx, e, d, StreamOptions{Vectorize: true})
+	return res, err
 }
 
 // evalVectorizedTraced is the vectorized entry point behind
-// EvalStreamedTracedOpts when opts.Vectorize is set.
-func evalVectorizedTraced(e Expr, d rel.ReadStore, opts StreamOptions) (*rel.Relation, *Trace) {
+// EvalStreamedTracedOpts when opts.Vectorize is set. A non-nil
+// governor threads cancellation and budget guards through every leaf
+// scan and the root drain.
+func evalVectorizedTraced(g *exec.Governor, e Expr, d rel.ReadStore, opts StreamOptions) (*rel.Relation, *Trace) {
 	if err := Validate(e); err != nil {
 		panic("ra: invalid expression: " + err.Error())
 	}
-	meter := &Meter{}
+	meter := &Meter{gov: g}
 	b := &vecBuilder{d: d, meter: meter, opts: opts}
 	out := rel.NewRelationSized(e.Arity(), sinkHint(d, e))
 	var root *countNode
@@ -72,6 +84,7 @@ func evalVectorizedTraced(e Expr, d rel.ReadStore, opts StreamOptions) (*rel.Rel
 		var ln, rn *countNode
 		lc, ln = b.batches(u.L)
 		rc, rn = b.batches(u.E)
+		lc, rc = meter.GuardBatches(lc), meter.GuardBatches(rc)
 		root = &countNode{e: e, kids: []*countNode{ln, rn}}
 		DrainBatches(lc, out)
 		DrainBatches(rc, out)
@@ -79,6 +92,7 @@ func evalVectorizedTraced(e Expr, d rel.ReadStore, opts StreamOptions) (*rel.Rel
 	} else {
 		var cur BatchCursor
 		cur, root = b.batches(e)
+		cur = meter.GuardBatches(cur)
 		DrainBatches(cur, out)
 	}
 	tr := &Trace{}
@@ -134,9 +148,10 @@ func (b *vecBuilder) batchCap() int {
 }
 
 // scan opens the columnar scan of a stored relation at the builder's
-// batch capacity.
+// batch capacity, guarded when the plan is governed (one governor
+// check per batch boundary at every leaf).
 func (b *vecBuilder) scan(v rel.StoredRel) BatchCursor {
-	return ScanBatches(v, b.batchCap())
+	return b.meter.GuardBatches(ScanBatches(v, b.batchCap()))
 }
 
 // ScanBatches opens the columnar scan of a stored relation: straight
@@ -218,6 +233,7 @@ func (b *vecBuilder) batches(e Expr) (BatchCursor, *countNode) {
 			cur = newVecHashJoinCursor(l, rc, n.Cond, eqs, b.meter, b.batchCap())
 		} else {
 			lj := &vecLoopJoinCursor{left: l, cond: n.Cond, meter: b.meter, capacity: b.batchCap()}
+			b.meter.Watch(lj)
 			if base, ok := n.E.(*Rel); ok {
 				lj.stored = b.baseRel(base)
 				node.kids = append(node.kids, &countNode{e: n.E})
@@ -864,7 +880,18 @@ func newVecHashJoinCursor(left, buildC BatchCursor, cond Cond, eqs [][2]int, m *
 			c.resid = append(c.resid, at)
 		}
 	}
+	m.Watch(c)
 	return c
+}
+
+// ReleaseHeld implements rel.BatchHolder: the hash join retains the
+// probe batch and the staging output batch across NextBatch calls;
+// both are released when an abort unwinds through the cursor.
+func (c *vecHashJoinCursor) ReleaseHeld() {
+	p, o := c.probe, c.out
+	c.probe, c.out = nil, nil
+	p.Release()
+	o.Release()
 }
 
 func (c *vecHashJoinCursor) openBuild() {
@@ -1034,6 +1061,16 @@ type vecLoopJoinCursor struct {
 	out   *rel.Batch
 }
 
+// ReleaseHeld implements rel.BatchHolder: the loop join retains the
+// probe batch and the staging output batch across NextBatch calls;
+// both are released when an abort unwinds through the cursor.
+func (c *vecLoopJoinCursor) ReleaseHeld() {
+	p, o := c.probe, c.out
+	c.probe, c.out = nil, nil
+	p.Release()
+	o.Release()
+}
+
 func (c *vecLoopJoinCursor) open() {
 	switch {
 	case c.buildC != nil:
@@ -1051,7 +1088,9 @@ func (c *vecLoopJoinCursor) open() {
 		}
 		// Non-in-memory stored backend: materialize (and meter) a
 		// columnar copy instead of replaying the backend per probe row.
-		c.materialize(rel.ToBatches(c.stored.Scan(), c.stored.Arity(), c.capacity))
+		tb := rel.ToBatches(c.stored.Scan(), c.stored.Arity(), c.capacity)
+		c.meter.Watch(tb)
+		c.materialize(tb)
 	}
 }
 
@@ -1273,7 +1312,9 @@ func NewHashJoinBatchCursor(left, build BatchCursor, cond Cond, m *Meter, capaci
 // the file comment for the one resident-parity exception). Exactly one
 // of build and stored must be non-nil.
 func NewLoopJoinBatchCursor(left, build BatchCursor, stored rel.StoredRel, cond Cond, m *Meter, capacity int) BatchCursor {
-	return &vecLoopJoinCursor{left: left, buildC: build, stored: stored, cond: cond, meter: m, capacity: capacity}
+	c := &vecLoopJoinCursor{left: left, buildC: build, stored: stored, cond: cond, meter: m, capacity: capacity}
+	m.Watch(c)
+	return c
 }
 
 // BatchStream is the batch sibling of Stream: a compiled vectorized

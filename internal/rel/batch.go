@@ -277,6 +277,15 @@ type NextCursor interface {
 	Next() (Tuple, bool)
 }
 
+// BatchHolder is implemented by cursors that retain ownership of a
+// pooled Batch between calls (or across an inner pull that may
+// abort). ReleaseHeld releases whatever the cursor currently owns
+// and is idempotent; governed evaluators register it as an abort
+// cleanup so no abort path can strand a pooled batch. It must only
+// be called once the cursor is quiescent (the boundary goroutine,
+// after all workers have joined).
+type BatchHolder interface{ ReleaseHeld() }
+
 // ToBatches adapts a tuple cursor to a batch cursor: tuples are
 // interned into one fresh per-stream dictionary and packed into pooled
 // batches of up to capacity rows. It panics if a tuple's arity differs
@@ -291,6 +300,7 @@ type tupleBatcher struct {
 	arity    int
 	capacity int
 	dict     *Interner
+	staging  *Batch // batch being filled; owned until handed off
 	done     bool
 }
 
@@ -299,6 +309,7 @@ func (t *tupleBatcher) NextBatch() (*Batch, bool) {
 		return nil, false
 	}
 	b := NewBatchSized(t.arity, t.capacity)
+	t.staging = b
 	for k := 0; k < t.arity; k++ {
 		b.SetDict(k, t.dict)
 	}
@@ -309,6 +320,7 @@ func (t *tupleBatcher) NextBatch() (*Batch, bool) {
 			break
 		}
 		if len(tp) != t.arity {
+			t.staging = nil
 			b.Release()
 			panic(fmt.Sprintf("rel: tuple arity %d batched at arity %d", len(tp), t.arity))
 		}
@@ -317,11 +329,21 @@ func (t *tupleBatcher) NextBatch() (*Batch, bool) {
 		}
 		b.n++
 	}
+	t.staging = nil
 	if b.n == 0 {
 		b.Release()
 		return nil, false
 	}
 	return b, true
+}
+
+// ReleaseHeld implements BatchHolder: it releases the staging batch
+// abandoned by an abort that unwound through the inner tuple cursor
+// mid-fill.
+func (t *tupleBatcher) ReleaseHeld() {
+	b := t.staging
+	t.staging = nil
+	b.Release()
 }
 
 // ToTuples adapts a batch cursor to a tuple cursor, decoding each row
@@ -353,6 +375,14 @@ func (u *batchUnpacker) Next() (Tuple, bool) {
 	}
 	u.row++
 	return t, true
+}
+
+// ReleaseHeld implements BatchHolder: it releases the batch being
+// unpacked when an abort unwound through a consumer mid-batch.
+func (u *batchUnpacker) ReleaseHeld() {
+	b := u.cur
+	u.cur = nil
+	b.Release()
 }
 
 // IDMap is a translation cache between dictionaries: it maps (source

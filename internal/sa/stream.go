@@ -17,8 +17,10 @@ package sa
 // memory-side counterpart of the syntactic linearity of Definition 2.
 
 import (
+	"context"
 	"fmt"
 
+	"radiv/internal/exec"
 	"radiv/internal/ra"
 	"radiv/internal/rel"
 )
@@ -42,7 +44,58 @@ func EvalStreamedTraced(e Expr, d rel.ReadStore) (*rel.Relation, *Trace) {
 	if err := Validate(e); err != nil {
 		panic("sa: invalid expression: " + err.Error())
 	}
-	meter := &ra.Meter{}
+	return evalStreamedMetered(&ra.Meter{}, e, d)
+}
+
+// EvalContext is the error-returning boundary over the materialized
+// evaluator: internal panics surface as typed, wrapped errors.
+// Cancellation is only observed before evaluation starts; use
+// EvalStreamedContext for cancellable execution.
+func EvalContext(ctx context.Context, e Expr, d rel.ReadStore) (res *rel.Relation, err error) {
+	defer exec.RecoverPanic(&err)
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("sa: query canceled: %w", cerr)
+		}
+	}
+	return Eval(e, d), nil
+}
+
+// EvalStreamedContext is the governed streaming entry point: ctx
+// cancellation and lim budgets are enforced at every pull boundary,
+// internal panics become typed errors, and on error every pooled
+// batch the evaluation acquired has been released.
+func EvalStreamedContext(ctx context.Context, e Expr, d rel.ReadStore, lim exec.Limits) (*rel.Relation, *Trace, error) {
+	if verr := Validate(e); verr != nil {
+		return nil, nil, fmt.Errorf("sa: invalid expression: %w", verr)
+	}
+	res, tr, err := func() (res *rel.Relation, tr *Trace, err error) {
+		g := exec.NewGovernor(ctx, lim)
+		defer g.Recover(&err)
+		res, tr = evalStreamedMetered(ra.NewGovernedMeter(g), e, d)
+		return res, tr, nil
+	}()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
+}
+
+// EvalStreamedGoverned runs the streaming executor under a caller-
+// supplied governor (the plan layer's shared-governor hook). The
+// caller owns the boundary: it must recover with Governor.Recover. A
+// nil governor is exactly the legacy ungoverned path.
+func EvalStreamedGoverned(g *exec.Governor, e Expr, d rel.ReadStore) (*rel.Relation, *Trace) {
+	if err := Validate(e); err != nil {
+		panic("sa: invalid expression: " + err.Error())
+	}
+	return evalStreamedMetered(ra.NewGovernedMeter(g), e, d)
+}
+
+// evalStreamedMetered is the executor core shared by the legacy and
+// governed entries; a governed meter threads guard cursors through
+// every leaf scan and the root drain.
+func evalStreamedMetered(meter *ra.Meter, e Expr, d rel.ReadStore) (*rel.Relation, *Trace) {
 	b := &streamBuilder{d: d, meter: meter}
 	out := rel.NewRelation(e.Arity())
 	var root *saCountNode
@@ -54,16 +107,18 @@ func EvalStreamedTraced(e Expr, d rel.ReadStore) (*rel.Relation, *Trace) {
 		lc, ln := b.cursor(u.L)
 		rc, rn := b.cursor(u.E)
 		root = &saCountNode{e: e, kids: []*saCountNode{ln, rn}}
-		for t, ok := lc.Next(); ok; t, ok = lc.Next() {
+		lg, rg := meter.Guard(lc), meter.Guard(rc)
+		for t, ok := lg.Next(); ok; t, ok = lg.Next() {
 			out.Add(t)
 		}
-		for t, ok := rc.Next(); ok; t, ok = rc.Next() {
+		for t, ok := rg.Next(); ok; t, ok = rg.Next() {
 			out.Add(t)
 		}
 		root.n = out.Len()
 	} else {
 		var cur ra.Cursor
 		cur, root = b.cursor(e)
+		cur = meter.Guard(cur)
 		for t, ok := cur.Next(); ok; t, ok = cur.Next() {
 			out.Add(t)
 		}
@@ -120,7 +175,7 @@ func (b *streamBuilder) cursor(e Expr) (ra.Cursor, *saCountNode) {
 	var cur ra.Cursor
 	switch n := e.(type) {
 	case *Rel:
-		cur = b.baseRel(n).Scan()
+		cur = b.meter.Guard(b.baseRel(n).Scan())
 	case *Union:
 		l, ln := b.cursor(n.L)
 		r, rn := b.cursor(n.E)

@@ -30,8 +30,10 @@ package sa
 // nothing, released at probe exhaustion.
 
 import (
+	"context"
 	"fmt"
 
+	"radiv/internal/exec"
 	"radiv/internal/ra"
 	"radiv/internal/rel"
 )
@@ -57,11 +59,46 @@ func EvalVectorizedTracedSized(e Expr, d rel.ReadStore, batchSize int) (*rel.Rel
 	if err := Validate(e); err != nil {
 		panic("sa: invalid expression: " + err.Error())
 	}
+	return evalVectorizedMetered(&ra.Meter{}, e, d, batchSize)
+}
+
+// EvalVectorizedContext is the governed vectorized entry point: the
+// columnar sibling of EvalStreamedContext, at an explicit batch row
+// capacity (0 means rel.BatchCap).
+func EvalVectorizedContext(ctx context.Context, e Expr, d rel.ReadStore, batchSize int, lim exec.Limits) (*rel.Relation, *Trace, error) {
+	if verr := Validate(e); verr != nil {
+		return nil, nil, fmt.Errorf("sa: invalid expression: %w", verr)
+	}
+	res, tr, err := func() (res *rel.Relation, tr *Trace, err error) {
+		g := exec.NewGovernor(ctx, lim)
+		defer g.Recover(&err)
+		res, tr = evalVectorizedMetered(ra.NewGovernedMeter(g), e, d, batchSize)
+		return res, tr, nil
+	}()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
+}
+
+// EvalVectorizedGoverned runs the vectorized executor under a caller-
+// supplied governor (the plan layer's shared-governor hook). The
+// caller owns the boundary: it must recover with Governor.Recover. A
+// nil governor is exactly the legacy ungoverned path.
+func EvalVectorizedGoverned(g *exec.Governor, e Expr, d rel.ReadStore, batchSize int) (*rel.Relation, *Trace) {
+	if err := Validate(e); err != nil {
+		panic("sa: invalid expression: " + err.Error())
+	}
+	return evalVectorizedMetered(ra.NewGovernedMeter(g), e, d, batchSize)
+}
+
+// evalVectorizedMetered is the vectorized executor core shared by the
+// legacy and governed entries.
+func evalVectorizedMetered(meter *ra.Meter, e Expr, d rel.ReadStore, batchSize int) (*rel.Relation, *Trace) {
 	capacity := batchSize
 	if capacity <= 0 {
 		capacity = rel.BatchCap
 	}
-	meter := &ra.Meter{}
 	b := &vecBuilder{d: d, meter: meter, capacity: capacity}
 	out := rel.NewRelation(e.Arity())
 	var root *saCountNode
@@ -71,13 +108,13 @@ func EvalVectorizedTracedSized(e Expr, d rel.ReadStore, batchSize int) (*rel.Rel
 		lc, ln := b.batches(u.L)
 		rc, rn := b.batches(u.E)
 		root = &saCountNode{e: e, kids: []*saCountNode{ln, rn}}
-		ra.DrainBatches(lc, out)
-		ra.DrainBatches(rc, out)
+		ra.DrainBatches(meter.GuardBatches(lc), out)
+		ra.DrainBatches(meter.GuardBatches(rc), out)
 		root.n = out.Len()
 	} else {
 		var cur ra.BatchCursor
 		cur, root = b.batches(e)
-		ra.DrainBatches(cur, out)
+		ra.DrainBatches(meter.GuardBatches(cur), out)
 	}
 	tr := &Trace{}
 	root.record(tr)
@@ -118,7 +155,7 @@ func (b *vecBuilder) batches(e Expr) (ra.BatchCursor, *saCountNode) {
 	var cur ra.BatchCursor
 	switch n := e.(type) {
 	case *Rel:
-		cur = ra.ScanBatches(b.baseRel(n), b.capacity)
+		cur = b.meter.GuardBatches(ra.ScanBatches(b.baseRel(n), b.capacity))
 	case *Union:
 		l, ln := b.batches(n.L)
 		r, rn := b.batches(n.E)
@@ -401,7 +438,9 @@ func (c *vecLoopSemijoinCursor) open() {
 		}
 		// Non-in-memory stored backend: materialize (and meter) a
 		// columnar copy instead of replaying the backend per probe row.
-		c.rcols, c.rdicts, c.rn = ra.MaterializeBatchColumns(rel.ToBatches(c.stored.Scan(), c.stored.Arity(), c.capacity), c.meter)
+		tb := rel.ToBatches(c.stored.Scan(), c.stored.Arity(), c.capacity)
+		c.meter.Watch(tb)
+		c.rcols, c.rdicts, c.rn = ra.MaterializeBatchColumns(tb, c.meter)
 		c.held = c.rn
 	}
 }

@@ -24,9 +24,38 @@ import (
 
 	"radiv/internal/division"
 	"radiv/internal/engine"
+	"radiv/internal/exec"
 	"radiv/internal/rel"
 	"radiv/internal/setjoin"
 )
+
+// guardedBatches interposes the query governor at a shard cursor's
+// pull boundary: the check runs before the pull, when the worker
+// frame holds no pooled batch, so a budget trip or cancellation
+// unwinds without stranding a batch. One branch per batch.
+type guardedBatches struct {
+	in engine.BatchCursor
+	g  *exec.Governor
+}
+
+func (c *guardedBatches) NextBatch() (*rel.Batch, bool) {
+	c.g.Check()
+	return c.in.NextBatch()
+}
+
+// guardShard wraps cur with a governor check per NextBatch; with a
+// nil governor it returns cur unchanged, so ungoverned runs pay
+// nothing.
+func guardShard(g *exec.Governor, cur engine.BatchCursor) engine.BatchCursor {
+	if g == nil {
+		return cur
+	}
+	return &guardedBatches{in: cur, g: g}
+}
+
+// mergeCheckStride is how many merge-loop iterations run between
+// governor checks on the coordinating goroutine.
+const mergeCheckStride = 64
 
 // Stats reports the cost anatomy of one sharded run: what each shard
 // held and what the merge cost.
@@ -59,8 +88,20 @@ func arityOf(db Source, name string, want int) {
 // the result is byte-identical to division.Hash on the merged
 // relations at every shard count. workers <= 0 means one per CPU.
 func Divide(db Source, rName, sName string, sem division.Semantics, workers int) (*rel.Relation, Stats) {
+	return DivideGov(nil, db, rName, sName, sem, workers)
+}
+
+// DivideGov is Divide under a query governor (nil means ungoverned,
+// with identical behavior): every shard worker checks the governor
+// once per pulled batch, a panicking worker aborts the run instead of
+// killing the process, and the merge loop checks periodically. On
+// abort it unwinds with the abort panic only the boundary
+// Governor.Recover catches — callers are governed cores or API
+// boundaries, never bare user code.
+func DivideGov(g *exec.Governor, db Source, rName, sName string, sem division.Semantics, workers int) (*rel.Relation, Stats) {
 	arityOf(db, rName, 2)
 	arityOf(db, sName, 1)
+	g.Check()
 	if db.NumShards() == 1 {
 		sRel := db.ShardRel(0, sName)
 		out, st := division.Hash{}.Divide(db.ShardRel(0, rName), sRel, sem)
@@ -80,20 +121,24 @@ func Divide(db Source, rName, sName string, sem division.Semantics, workers int)
 	// columns.
 	cursors := make([]engine.BatchCursor, n)
 	for q := range cursors {
-		cursors[q] = db.ShardRel(q, rName).BatchScan()
+		cursors[q] = guardShard(g, db.ShardRel(q, rName).BatchScan())
 	}
 	qualified := make([]map[rel.Value]bool, n)
 	resident := make([]int, n)
-	engine.Executor{Workers: workers}.StreamShardedBatches(cursors, func(q int, shard engine.BatchCursor) {
+	engine.Executor{Workers: workers}.StreamShardedBatchesGov(g, cursors, func(q int, shard engine.BatchCursor) {
 		var st division.Stats
 		qualified[q], st = dt.DivideShardBatches(shard, sem)
 		resident[q] = st.MaxMemoryTuples
 	})
+	g.Check() // rethrow a worker abort before merging partial results
 	st := Stats{ShardResident: resident}
 	mergeStart := time.Now()
 	rt := db.Router(rName)
 	out := rel.NewRelationSized(1, rt.Len())
 	for gid := 0; gid < rt.Len(); gid++ {
+		if gid%mergeCheckStride == 0 {
+			g.Check()
+		}
 		st.Merged++
 		v := rt.Value(uint32(gid))
 		if qualified[engine.PartOf(uint32(gid), n)][v] {
@@ -112,7 +157,13 @@ func Divide(db Source, rName, sName string, sem division.Semantics, workers int)
 // sequential setjoin.SignatureContainment emission byte for byte at
 // every shard count. workers <= 0 means one per CPU.
 func ContainmentJoin(db Source, rName, sName string, workers int) (*rel.Relation, Stats) {
-	return shardedSetJoin(db, rName, sName, workers, true)
+	return shardedSetJoin(nil, db, rName, sName, workers, true)
+}
+
+// ContainmentJoinGov is ContainmentJoin under a query governor; see
+// DivideGov for the contract.
+func ContainmentJoinGov(g *exec.Governor, db Source, rName, sName string, workers int) (*rel.Relation, Stats) {
+	return shardedSetJoin(g, db, rName, sName, workers, true)
 }
 
 // EqualityJoin computes the set-equality join rName ⋈[B=D] sName
@@ -123,7 +174,13 @@ func ContainmentJoin(db Source, rName, sName string, workers int) (*rel.Relation
 // (S-major, R insertion order within a probe) byte for byte at every
 // shard count. workers <= 0 means one per CPU.
 func EqualityJoin(db Source, rName, sName string, workers int) (*rel.Relation, Stats) {
-	return shardedSetJoin(db, rName, sName, workers, false)
+	return shardedSetJoin(nil, db, rName, sName, workers, false)
+}
+
+// EqualityJoinGov is EqualityJoin under a query governor; see
+// DivideGov for the contract.
+func EqualityJoinGov(g *exec.Governor, db Source, rName, sName string, workers int) (*rel.Relation, Stats) {
+	return shardedSetJoin(g, db, rName, sName, workers, false)
 }
 
 // groupsHeld counts the entries a shard's group list pins: one per
@@ -136,9 +193,10 @@ func groupsHeld(gs []*setjoin.Group) int {
 	return held
 }
 
-func shardedSetJoin(db Source, rName, sName string, workers int, containment bool) (*rel.Relation, Stats) {
+func shardedSetJoin(g *exec.Governor, db Source, rName, sName string, workers int, containment bool) (*rel.Relation, Stats) {
 	arityOf(db, rName, 2)
 	arityOf(db, sName, 2)
+	g.Check()
 	if db.NumShards() == 1 {
 		rG, sG := setjoin.Groups(db.ShardRel(0, rName)), setjoin.Groups(db.ShardRel(0, sName))
 		var out *rel.Relation
@@ -160,12 +218,12 @@ func shardedSetJoin(db Source, rName, sName string, workers int, containment boo
 	containPairs := make([]map[rel.Value][]rel.Tuple, n)
 	eqPairs := make([][][]setjoin.RankedPair, n)
 	resident := make([]int, n)
-	engine.Executor{Workers: workers}.Run(n, func(q int) {
+	engine.Executor{Workers: workers}.RunGoverned(g, n, func(q int) {
 		// Shard-local R sides flow as columnar batches straight off the
 		// relations' stored ID columns into the group builder — no tuple
 		// decoding on the grouping pass, and each worker's translation
 		// cache only reads the shard's sealed dictionaries.
-		rGroups := setjoin.GroupsFromBatches(db.ShardRel(q, rName).BatchScan())
+		rGroups := setjoin.GroupsFromBatches(guardShard(g, db.ShardRel(q, rName).BatchScan()))
 		resident[q] = groupsHeld(rGroups)
 		if containment {
 			containPairs[q], _ = setjoin.ShardContainment(rGroups, sGroups)
@@ -173,6 +231,7 @@ func shardedSetJoin(db Source, rName, sName string, workers int, containment boo
 			eqPairs[q], _ = setjoin.ShardEquality(rGroups, sGroups, rank)
 		}
 	})
+	g.Check() // rethrow a worker abort before merging partial results
 	st := Stats{ShardResident: resident}
 	mergeStart := time.Now()
 	// The merge's output cardinality is the sum of the per-shard pair
@@ -195,6 +254,9 @@ func shardedSetJoin(db Source, rName, sName string, workers int, containment boo
 		// R-major merge: walk the dividend router's gids in order and
 		// splice in each group's pair list from its owning shard.
 		for gid := 0; gid < rt.Len(); gid++ {
+			if gid%mergeCheckStride == 0 {
+				g.Check()
+			}
 			st.Merged++
 			v := rt.Value(uint32(gid))
 			for _, p := range containPairs[engine.PartOf(uint32(gid), n)][v] {
@@ -208,6 +270,9 @@ func shardedSetJoin(db Source, rName, sName string, workers int, containment boo
 	// ascending pair lists into global rank order.
 	heads := make([]int, n) // per-shard cursor into eqPairs[q][si]
 	for si := range sGroups {
+		if si%mergeCheckStride == 0 {
+			g.Check()
+		}
 		for q := range heads {
 			heads[q] = 0
 		}

@@ -17,8 +17,10 @@ package xra
 // (experiment ST2).
 
 import (
+	"context"
 	"fmt"
 
+	"radiv/internal/exec"
 	"radiv/internal/ra"
 	"radiv/internal/rel"
 )
@@ -40,9 +42,61 @@ func EvalStreamedTraced(e Expr, d rel.ReadStore) (*rel.Relation, *Trace) {
 	if err := Validate(e); err != nil {
 		panic("xra: invalid expression: " + err.Error())
 	}
-	meter := &ra.Meter{}
+	return evalStreamedMetered(&ra.Meter{}, e, d)
+}
+
+// EvalContext is the error-returning boundary over the materialized
+// evaluator: internal panics surface as typed, wrapped errors.
+// Cancellation is only observed before evaluation starts; use
+// EvalStreamedContext for cancellable execution.
+func EvalContext(ctx context.Context, e Expr, d rel.ReadStore) (res *rel.Relation, err error) {
+	defer exec.RecoverPanic(&err)
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("xra: query canceled: %w", cerr)
+		}
+	}
+	return Eval(e, d), nil
+}
+
+// EvalStreamedContext is the governed streaming entry point: ctx
+// cancellation and lim budgets are enforced at every pull boundary
+// (wrapped RA subplans included — they share the governed meter),
+// internal panics become typed errors, and on error every pooled
+// batch the evaluation acquired has been released.
+func EvalStreamedContext(ctx context.Context, e Expr, d rel.ReadStore, lim exec.Limits) (*rel.Relation, *Trace, error) {
+	if verr := Validate(e); verr != nil {
+		return nil, nil, fmt.Errorf("xra: invalid expression: %w", verr)
+	}
+	res, tr, err := func() (res *rel.Relation, tr *Trace, err error) {
+		g := exec.NewGovernor(ctx, lim)
+		defer g.Recover(&err)
+		res, tr = evalStreamedMetered(ra.NewGovernedMeter(g), e, d)
+		return res, tr, nil
+	}()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
+}
+
+// EvalStreamedGoverned runs the streaming executor under a caller-
+// supplied governor (the plan layer's shared-governor hook). The
+// caller owns the boundary: it must recover with Governor.Recover. A
+// nil governor is exactly the legacy ungoverned path.
+func EvalStreamedGoverned(g *exec.Governor, e Expr, d rel.ReadStore) (*rel.Relation, *Trace) {
+	if err := Validate(e); err != nil {
+		panic("xra: invalid expression: " + err.Error())
+	}
+	return evalStreamedMetered(ra.NewGovernedMeter(g), e, d)
+}
+
+// evalStreamedMetered is the executor core shared by the legacy and
+// governed entries.
+func evalStreamedMetered(meter *ra.Meter, e Expr, d rel.ReadStore) (*rel.Relation, *Trace) {
 	b := &xStreamBuilder{d: d, meter: meter}
 	cur, root := b.cursor(e)
+	cur = meter.Guard(cur)
 	out := rel.NewRelation(e.Arity())
 	for t, ok := cur.Next(); ok; t, ok = cur.Next() {
 		out.Add(t)

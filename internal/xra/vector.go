@@ -23,8 +23,10 @@ package xra
 // aggregate — byte-identical to EvalStreamed.
 
 import (
+	"context"
 	"fmt"
 
+	"radiv/internal/exec"
 	"radiv/internal/ra"
 	"radiv/internal/rel"
 )
@@ -50,15 +52,50 @@ func EvalVectorizedTracedSized(e Expr, d rel.ReadStore, batchSize int) (*rel.Rel
 	if err := Validate(e); err != nil {
 		panic("xra: invalid expression: " + err.Error())
 	}
+	return evalVectorizedMetered(&ra.Meter{}, e, d, batchSize)
+}
+
+// EvalVectorizedContext is the governed vectorized entry point: the
+// columnar sibling of EvalStreamedContext, at an explicit batch row
+// capacity (0 means rel.BatchCap).
+func EvalVectorizedContext(ctx context.Context, e Expr, d rel.ReadStore, batchSize int, lim exec.Limits) (*rel.Relation, *Trace, error) {
+	if verr := Validate(e); verr != nil {
+		return nil, nil, fmt.Errorf("xra: invalid expression: %w", verr)
+	}
+	res, tr, err := func() (res *rel.Relation, tr *Trace, err error) {
+		g := exec.NewGovernor(ctx, lim)
+		defer g.Recover(&err)
+		res, tr = evalVectorizedMetered(ra.NewGovernedMeter(g), e, d, batchSize)
+		return res, tr, nil
+	}()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
+}
+
+// EvalVectorizedGoverned runs the vectorized executor under a caller-
+// supplied governor (the plan layer's shared-governor hook). The
+// caller owns the boundary: it must recover with Governor.Recover. A
+// nil governor is exactly the legacy ungoverned path.
+func EvalVectorizedGoverned(g *exec.Governor, e Expr, d rel.ReadStore, batchSize int) (*rel.Relation, *Trace) {
+	if err := Validate(e); err != nil {
+		panic("xra: invalid expression: " + err.Error())
+	}
+	return evalVectorizedMetered(ra.NewGovernedMeter(g), e, d, batchSize)
+}
+
+// evalVectorizedMetered is the vectorized executor core shared by the
+// legacy and governed entries.
+func evalVectorizedMetered(meter *ra.Meter, e Expr, d rel.ReadStore, batchSize int) (*rel.Relation, *Trace) {
 	capacity := batchSize
 	if capacity <= 0 {
 		capacity = rel.BatchCap
 	}
-	meter := &ra.Meter{}
 	b := &xVecBuilder{d: d, meter: meter, capacity: capacity}
 	cur, root := b.batches(e)
 	out := rel.NewRelation(e.Arity())
-	ra.DrainBatches(cur, out)
+	ra.DrainBatches(meter.GuardBatches(cur), out)
 	tr := &Trace{}
 	root.record(tr)
 	tr.MaxResident = meter.Max()

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the tier-1 benchmark set with -benchmem and write the
-# results as JSON (default: BENCH_9.json), so every PR from here on has
+# results as JSON (default: BENCH_10.json), so every PR from here on has
 # a machine-readable perf baseline. CI uploads the file as an artifact
 # and diffs it against the committed previous-PR baseline with
 # cmd/benchdiff, failing loudly on >20% regressions.
@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_9.json}"
+out="${1:-BENCH_10.json}"
 pattern="${BENCH_PATTERN:-.}"
 benchtime="${BENCHTIME:-1x}"
 raw="$(mktemp)"
